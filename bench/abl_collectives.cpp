@@ -1,0 +1,60 @@
+// Ablation: collective primitives on Gaussian Cubes — broadcast rounds
+// (single-port and all-port models) versus dimension and modulus, plus
+// multicast link sharing. The paper's introduction claims these primitives
+// stay efficient across the GC family; this quantifies the dilution cost.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "routing/collectives.hpp"
+#include "routing/ffgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Ablation",
+                      "broadcast/multicast cost across the GC family");
+  {
+    TextTable table({"topology", "tree depth (all-port)",
+                     "single-port rounds", "log2 N lower bound"});
+    for (const Dim n : {8u, 10u, 12u}) {
+      for (const std::uint64_t m : {1u, 2u, 4u, 8u}) {
+        const GaussianCube gc(n, m);
+        const auto tree = build_bfs_spanning_tree(gc, 0);
+        table.add_row({gc.name(),
+                       std::to_string(all_port_broadcast_rounds(tree)),
+                       std::to_string(single_port_broadcast_rounds(tree)),
+                       std::to_string(n)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    TextTable table({"topology", "dests", "links used", "sum of routes",
+                     "sharing %"});
+    Xoshiro256 rng(31);
+    for (const std::uint64_t m : {1u, 2u, 4u}) {
+      const GaussianCube gc(10, m);
+      const FfgcrRouter router(gc);
+      for (const std::size_t count : {4u, 16u, 64u}) {
+        std::vector<NodeId> dests;
+        while (dests.size() < count) {
+          const auto d = static_cast<NodeId>(rng.below(gc.node_count()));
+          if (d != 0) dests.push_back(d);
+        }
+        const auto result = multicast_tree(router, 0, dests);
+        const double sharing =
+            100.0 * (1.0 - static_cast<double>(result.links_used) /
+                               static_cast<double>(result.total_route_length));
+        table.add_row({gc.name(), std::to_string(count),
+                       std::to_string(result.links_used),
+                       std::to_string(result.total_route_length),
+                       fmt_double(sharing, 1)});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

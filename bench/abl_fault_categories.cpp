@@ -1,0 +1,100 @@
+// Ablation: which fault category hurts most? Average latency of GC(9, 4)
+// under one injected fault of each category (paper Definitions 3-5):
+//   A — a high-dimension link fault (handled inside one GEEC, Theorem 3);
+//   B — a tree-dimension link fault (handled by EH crossings, Theorem 5);
+//   C — a node fault (both levels at once).
+// All patterns are precondition-checked so FTGCR is guaranteed to deliver.
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/categorize.hpp"
+#include "fault/preconditions.hpp"
+#include "routing/ftgcr.hpp"
+#include "sim/network.hpp"
+#include "sim/sweep.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gcube;
+
+/// Draws one fault of the requested category that passes the FTGCR
+/// precondition.
+FaultSet draw_category_fault(const GaussianCube& gc, FaultCategory category,
+                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    FaultSet f;
+    switch (category) {
+      case FaultCategory::A: {
+        const auto u = static_cast<NodeId>(rng.below(gc.node_count()));
+        const auto dims = gc.high_dims(gc.ending_class(u));
+        if (dims.empty()) continue;
+        f.fail_link(u, dims[rng.below(dims.size())]);
+        break;
+      }
+      case FaultCategory::B: {
+        const auto u = static_cast<NodeId>(rng.below(gc.node_count()));
+        const auto c = static_cast<Dim>(rng.below(gc.alpha()));
+        if (!gc.has_link(u, c)) continue;
+        f.fail_link(u, c);
+        break;
+      }
+      case FaultCategory::C: {
+        const auto u = static_cast<NodeId>(rng.below(gc.node_count()));
+        if (categorize_node_fault(gc, u) != FaultCategory::C) continue;
+        f.fail_node(u);
+        break;
+      }
+    }
+    if (check_ftgcr_precondition(gc, f)) return f;
+  }
+  throw std::runtime_error("no tolerable fault of that category found");
+}
+
+}  // namespace
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Ablation",
+                      "fault categories A/B/C vs latency, GC(9, 4)");
+  const GaussianCube gc(9, 4);
+  struct Cell {
+    std::optional<FaultCategory> category;  // nullopt = fault-free baseline
+    double latency = 0.0;
+    double log2_tp = 0.0;
+  };
+  std::vector<Cell> cells{{std::nullopt, 0.0, 0.0},
+                          {FaultCategory::A, 0.0, 0.0},
+                          {FaultCategory::B, 0.0, 0.0},
+                          {FaultCategory::C, 0.0, 0.0}};
+  parallel_for_index(cells.size(), [&](std::size_t i) {
+    FaultSet faults;
+    if (cells[i].category) {
+      faults = draw_category_fault(gc, *cells[i].category, 40 + i);
+    }
+    const FtgcrRouter router(gc, faults);
+    SimConfig cfg;
+    cfg.injection_rate = 0.02;
+    cfg.warmup_cycles = 300;
+    cfg.measure_cycles = 1200;
+    cfg.seed = 8000 + i;
+    NetworkSim sim(gc, router, faults, cfg);
+    const SimMetrics metrics = sim.run();
+    cells[i].latency = metrics.avg_latency();
+    cells[i].log2_tp = metrics.log2_throughput();
+  });
+  TextTable table({"fault", "avg latency", "log2 throughput"});
+  const char* names[] = {"none", "A (GEEC link)", "B (tree link)",
+                         "C (node)"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.add_row({names[i], fmt_double(cells[i].latency, 3),
+                   fmt_double(cells[i].log2_tp, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

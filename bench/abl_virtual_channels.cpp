@@ -1,0 +1,54 @@
+// Ablation: virtual-channel budget for wormhole-safe FFGCR.
+//
+// FFGCR's plain channel dependency graph is cyclic (tests/deadlock_test),
+// so a wormhole deployment needs virtual channels. The ascending-vc
+// annotation (routing/deadlock.hpp) restores acyclicity for any route set;
+// this bench measures its cost: the distribution of VCs required per route
+// across all pairs, by dimension and modulus — the concrete hardware price
+// of the tree-walk routing discipline.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/ffgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Ablation",
+                      "virtual channels needed for wormhole-safe FFGCR");
+  TextTable table({"topology", "max VCs", "avg VCs", "% pairs needing <= 2",
+                   "vc-CDG acyclic"});
+  for (const Dim n : {6u, 7u, 8u}) {
+    for (const std::uint64_t m : {1u, 2u, 4u}) {
+      const GaussianCube gc(n, m);
+      const FfgcrRouter router(gc);
+      ChannelDependencyGraph with_vcs;
+      std::uint32_t max_vcs = 0;
+      std::uint64_t total_vcs = 0, pairs = 0, small = 0;
+      for (NodeId s = 0; s < gc.node_count(); ++s) {
+        for (NodeId d = 0; d < gc.node_count(); ++d) {
+          if (s == d) continue;
+          const RoutingResult planned = router.plan(s, d);
+          const Route& route = *planned.route;
+          const auto vcs = virtual_channels_required(route);
+          with_vcs.add_route(route, annotate_virtual_channels(route));
+          max_vcs = std::max(max_vcs, vcs);
+          total_vcs += vcs;
+          small += vcs <= 2;
+          ++pairs;
+        }
+      }
+      table.add_row({gc.name(), std::to_string(max_vcs),
+                     fmt_double(static_cast<double>(total_vcs) /
+                                    static_cast<double>(pairs), 2),
+                     fmt_double(100.0 * static_cast<double>(small) /
+                                    static_cast<double>(pairs), 1),
+                     with_vcs.has_cycle() ? "NO (bug!)" : "yes"});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace gcube::bench {
+
+/// Every figure bench prints a header naming the paper artifact it
+/// regenerates, so bench_output.txt is self-describing.
+inline void print_banner(const std::string& figure, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << figure << " — " << what << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace gcube::bench

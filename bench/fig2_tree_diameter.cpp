@@ -1,0 +1,26 @@
+// Figure 2: Diameter of the Gaussian Tree T_n versus dimension n.
+//
+// The paper plots D(T_n) against n and reads it as O(n); our exact
+// computation (double BFS on the full tree) regenerates the series. We also
+// print D(T_n)/n to expose the measured growth rate — see EXPERIMENTS.md
+// for the comparison discussion.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "topology/gaussian_tree.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Figure 2", "Diameter of Gaussian Tree T_n vs n");
+  TextTable table({"n", "nodes", "diameter", "diameter/n"});
+  for (Dim n = 2; n <= 20; ++n) {
+    const GaussianTree tree(n);
+    const Dim d = tree.diameter();
+    table.add_row({std::to_string(n), std::to_string(tree.node_count()),
+                   std::to_string(d),
+                   fmt_double(static_cast<double>(d) / n, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

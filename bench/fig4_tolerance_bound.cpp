@@ -1,0 +1,28 @@
+// Figure 4: log2 of the maximum number of tolerable A-category faults,
+// T(GC(n, 2^alpha)), versus dimension n for alpha = 1..4.
+//
+// T = sum over classes k of max(t_k - 1, 0) * 2^(n - alpha - t_k), each
+// GEEC hypercube tolerating one fault less than its dimension t_k
+// (reconstruction of the paper's OCR-damaged formula; see DESIGN.md §3).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/tolerance_bound.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Figure 4",
+                      "log2 T(GC(n, 2^alpha)) vs n, alpha = 1..4");
+  TextTable table({"n", "alpha=1", "alpha=2", "alpha=3", "alpha=4"});
+  for (Dim n = 6; n <= 24; ++n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (Dim alpha = 1; alpha <= 4; ++alpha) {
+      row.push_back(fmt_double(log2_max_tolerable_faults(n, alpha), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(-1.00 marks T = 0: no A-category fault is tolerable.)\n";
+  return 0;
+}

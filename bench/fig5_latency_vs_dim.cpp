@@ -1,0 +1,52 @@
+// Figure 5: Average latency versus dimension for fault-free GC(n, M),
+// n = 6..14, M in {1, 2, 4}, uniform random traffic.
+//
+// Latency is in cycles (the paper's µs scale was hardware-specific); the
+// shape to compare: latency grows with n, and grows with M at fixed n,
+// with M's influence the stronger of the two (paper §6).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Figure 5",
+                      "Average latency vs dimension, fault-free GC(n, M)");
+  const std::vector<std::uint64_t> moduli{1, 2, 4};
+  const Dim n_lo = 6, n_hi = 14;
+  struct Cell {
+    Dim n;
+    std::uint64_t m;
+    double latency = 0.0;
+  };
+  std::vector<Cell> cells;
+  for (Dim n = n_lo; n <= n_hi; ++n) {
+    for (const std::uint64_t m : moduli) cells.push_back({n, m, 0.0});
+  }
+  parallel_for_index(cells.size(), [&](std::size_t i) {
+    GcSimSpec spec;
+    spec.n = cells[i].n;
+    spec.modulus = cells[i].m;
+    spec.sim.injection_rate = 0.01;
+    spec.sim.warmup_cycles = 300;
+    spec.sim.measure_cycles = 1500;
+    spec.sim.seed = 1000 + i;
+    cells[i].latency = run_gc_simulation(spec).metrics.avg_latency();
+  });
+  TextTable table({"n", "M=1", "M=2", "M=4"});
+  std::size_t i = 0;
+  for (Dim n = n_lo; n <= n_hi; ++n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (std::size_t j = 0; j < moduli.size(); ++j, ++i) {
+      row.push_back(fmt_double(cells[i].latency, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(average latency, cycles/packet)\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark): planning costs of the core
+// algorithms — PC path construction, FFGCR planning, FTGCR planning under
+// faults, and the per-packet cost model the simulator pays. Paper §1
+// claim 2: computation is O((n - alpha) log(n - alpha))-ish per route.
+#include <benchmark/benchmark.h>
+
+#include "fault/fault_set.hpp"
+#include "fault/preconditions.hpp"
+#include "routing/collectives.hpp"
+#include "routing/ffgcr.hpp"
+#include "routing/ftgcr.hpp"
+#include "routing/tree_routing.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/gaussian_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gcube;
+
+void BM_TreePathConstruction(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const GaussianTree tree(n);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.below(tree.node_count()));
+    const auto d = static_cast<NodeId>(rng.below(tree.node_count()));
+    benchmark::DoNotOptimize(tree.path(s, d));
+  }
+}
+BENCHMARK(BM_TreePathConstruction)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_TreeWalkPlanning(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const GaussianTree tree(n);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.below(tree.node_count()));
+    const auto d = static_cast<NodeId>(rng.below(tree.node_count()));
+    std::vector<NodeId> targets;
+    for (int i = 0; i < 4; ++i) {
+      targets.push_back(static_cast<NodeId>(rng.below(tree.node_count())));
+    }
+    benchmark::DoNotOptimize(plan_tree_walk(tree, s, d, targets));
+  }
+}
+BENCHMARK(BM_TreeWalkPlanning)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_FfgcrPlan(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const auto m = static_cast<std::uint64_t>(state.range(1));
+  const GaussianCube gc(n, m);
+  const FfgcrRouter router(gc);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.below(gc.node_count()));
+    const auto d = static_cast<NodeId>(rng.below(gc.node_count()));
+    benchmark::DoNotOptimize(router.plan(s, d));
+  }
+}
+BENCHMARK(BM_FfgcrPlan)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({12, 2})
+    ->Args({16, 2})
+    ->Args({16, 4});
+
+void BM_FtgcrPlanOneFault(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const GaussianCube gc(n, 2);
+  Xoshiro256 rng(4);
+  FaultSet faults;
+  do {
+    faults.clear();
+    faults.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+  } while (!check_ftgcr_precondition(gc, faults));
+  const FtgcrRouter router(gc, faults);
+  for (auto _ : state) {
+    NodeId s, d;
+    do {
+      s = static_cast<NodeId>(rng.below(gc.node_count()));
+    } while (faults.node_faulty(s));
+    do {
+      d = static_cast<NodeId>(rng.below(gc.node_count()));
+    } while (faults.node_faulty(d));
+    benchmark::DoNotOptimize(router.plan(s, d));
+  }
+}
+BENCHMARK(BM_FtgcrPlanOneFault)->Arg(8)->Arg(12)->Arg(14);
+
+void BM_BroadcastTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const GaussianCube gc(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_bfs_spanning_tree(gc, 0));
+  }
+}
+BENCHMARK(BM_BroadcastTreeBuild)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_PreconditionCheck(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const GaussianCube gc(n, 2);
+  Xoshiro256 rng(5);
+  FaultSet faults;
+  while (faults.node_fault_count() < 3) {
+    faults.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_ftgcr_precondition(gc, faults));
+  }
+}
+BENCHMARK(BM_PreconditionCheck)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_RouteValidation(benchmark::State& state) {
+  const auto n = static_cast<Dim>(state.range(0));
+  const GaussianCube gc(n, 2);
+  const FfgcrRouter router(gc);
+  Xoshiro256 rng(6);
+  const FaultSet none;
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.below(gc.node_count()));
+    const auto d = static_cast<NodeId>(rng.below(gc.node_count()));
+    const auto planned = router.plan(s, d);
+    benchmark::DoNotOptimize(validate_route(gc, none, *planned.route));
+  }
+}
+BENCHMARK(BM_RouteValidation)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Topology properties table (paper §2's motivation: interconnection density
+// scales with M without changing the routing algorithm).
+//
+// For GC(n, M) across n and M: node count, link count, min/max degree, and
+// exact diameter (BFS) for sizes we can afford — the cost/performance
+// tradeoff the Gaussian Cube family exposes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner("Topology table",
+                      "GC(n, M) density and diameter vs modulus");
+  TextTable table({"topology", "nodes", "links", "min deg", "max deg",
+                   "diameter"});
+  for (const Dim n : {6u, 8u, 10u}) {
+    for (const std::uint64_t m : {1u, 2u, 4u, 8u}) {
+      const GaussianCube gc(n, m);
+      const Graph g(gc);
+      const auto hist = degree_histogram(g);
+      Dim min_deg = 0;
+      while (min_deg < hist.size() && hist[min_deg] == 0) ++min_deg;
+      table.add_row({gc.name(), std::to_string(gc.node_count()),
+                     std::to_string(g.edge_count()), std::to_string(min_deg),
+                     std::to_string(hist.size() - 1),
+                     std::to_string(diameter(g))});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Collectives demo: broadcast and multicast on a Gaussian Cube, fault-free
+// and with a fault in the way.
+//
+//   $ ./broadcast_demo
+#include <iostream>
+
+#include "fault/fault_set.hpp"
+#include "routing/collectives.hpp"
+#include "routing/ffgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  const GaussianCube gc(10, 4);
+  std::cout << "Broadcast from node 0 over " << gc.name() << " ("
+            << gc.node_count() << " nodes)\n\n";
+
+  const auto tree = build_bfs_spanning_tree(gc, 0);
+  std::cout << "fault-free spanning tree: depth " << tree.max_depth
+            << ", all-port broadcast " << all_port_broadcast_rounds(tree)
+            << " rounds, single-port " << single_port_broadcast_rounds(tree)
+            << " rounds (log2 N lower bound: 10)\n";
+
+  FaultSet faults;
+  faults.fail_node(0b0000000100);
+  faults.fail_link(0b0000000000, 0);
+  const auto ft_tree = build_bfs_spanning_tree(gc, 0, &faults);
+  std::cout << "with one node + one link fault: reaches " << ft_tree.reached
+            << "/" << gc.node_count() - 1 << " nonfaulty nodes, depth "
+            << ft_tree.max_depth << ", single-port "
+            << single_port_broadcast_rounds(ft_tree) << " rounds\n\n";
+
+  // Multicast: one source, a scattered destination set.
+  const FfgcrRouter router(gc);
+  const std::vector<NodeId> dests{37, 512, 700, 1001, 255, 768};
+  const auto mc = multicast_tree(router, 0, dests);
+  std::cout << "multicast to " << dests.size() << " destinations: "
+            << mc.links_used << " links used vs " << mc.total_route_length
+            << " route hops in total ("
+            << fmt_double(100.0 * (1.0 - static_cast<double>(mc.links_used) /
+                                             static_cast<double>(
+                                                 mc.total_route_length)),
+                          1)
+            << "% shared); farthest destination " << mc.max_route_length
+            << " hops away\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a Gaussian Cube, look at its structure, and route a
+// packet with the fault-free FFGCR strategy.
+//
+//   $ ./quickstart
+//
+// Walks through the library's core objects: GaussianCube (topology),
+// GaussianTree (the class-level quotient tree), and FfgcrRouter (paper
+// Algorithm 3).
+#include <iostream>
+
+#include "routing/ffgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/gaussian_tree.hpp"
+
+int main() {
+  using namespace gcube;
+
+  // GC(8, 4): 256 nodes, modulus 4 => alpha = 2, four ending classes.
+  const GaussianCube gc(8, 4);
+  std::cout << "Topology " << gc.name() << ": " << gc.node_count()
+            << " nodes, " << gc.link_count() << " links (binary hypercube "
+            << "H_8 would have " << 8 * 128 << ")\n\n";
+
+  // The low alpha bits of a node name its ending class; each class owns a
+  // set of hypercube dimensions Dim(k).
+  for (NodeId k = 0; k < gc.class_count(); ++k) {
+    std::cout << "class " << k << ": Dim(k) = {";
+    bool first = true;
+    for (const Dim c : gc.high_dims(k)) {
+      std::cout << (first ? "" : ", ") << c;
+      first = false;
+    }
+    std::cout << "} — GEEC hypercubes of dimension " << gc.high_dim_count(k)
+              << "\n";
+  }
+
+  // Classes form the Gaussian Tree T_alpha; inter-class moves are tree
+  // edges realized by links in dimensions < alpha.
+  const GaussianTree tree(gc.alpha());
+  std::cout << "\nGaussian Tree T_" << gc.alpha() << " diameter: "
+            << tree.diameter() << "\n";
+
+  // Route a packet.
+  const NodeId src = 0b00010110;
+  const NodeId dst = 0b11001001;
+  const FfgcrRouter router(gc);
+  const RoutingResult result = router.plan(src, dst);
+  std::cout << "\nFFGCR route " << src << " -> " << dst << " ("
+            << result.route->length() << " hops, provably optimal):\n  ";
+  for (const NodeId node : result.route->nodes()) {
+    std::cout << node << " ";
+  }
+  std::cout << "\n  dimensions crossed: ";
+  for (const Dim c : result.route->hops()) {
+    std::cout << c << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Topology explorer: a small CLI to inspect any GC(n, M), Gaussian Tree, or
+// Exchanged Hypercube — properties, a node's neighborhood, and a route.
+//
+//   $ ./topology_explorer gc 8 4            # properties of GC(8, 4)
+//   $ ./topology_explorer gc 8 4 node 22    # neighborhood of node 22
+//   $ ./topology_explorer gc 8 4 route 3 200
+//   $ ./topology_explorer gc 6 4 dot        # GraphViz DOT to stdout
+//   $ ./topology_explorer tree 5            # Gaussian Tree T_5
+//   $ ./topology_explorer eh 3 2            # Exchanged Hypercube EH(3, 2)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/graph.hpp"
+#include "routing/ffgcr.hpp"
+#include "topology/exchanged_hypercube.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/gaussian_tree.hpp"
+
+namespace {
+
+using namespace gcube;
+
+void print_properties(const Topology& topo) {
+  std::cout << topo.name() << ": " << topo.node_count() << " nodes, "
+            << topo.link_count() << " links\n";
+  if (topo.node_count() <= (1u << 14)) {
+    const Graph g(topo);
+    std::cout << "  connected: " << (is_connected(g) ? "yes" : "no") << "\n";
+    if (is_connected(g) && topo.node_count() <= (1u << 10)) {
+      std::cout << "  diameter: " << diameter(g) << "\n";
+    }
+    const auto hist = degree_histogram(g);
+    std::cout << "  degrees:";
+    for (std::size_t deg = 0; deg < hist.size(); ++deg) {
+      if (hist[deg] != 0) {
+        std::cout << " " << deg << "x" << hist[deg];
+      }
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_node(const Topology& topo, NodeId u) {
+  std::cout << "node " << u << " (degree " << topo.degree(u) << "):\n";
+  for (const Dim c : topo.link_dims(u)) {
+    std::cout << "  dim " << c << " -> " << Topology::neighbor(u, c) << "\n";
+  }
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  topology_explorer gc <n> <M> [node <id> | route <s> <d>]\n"
+            << "  topology_explorer tree <n> [node <id> | route <s> <d>]\n"
+            << "  topology_explorer eh <s> <t> [node <id>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcube;
+  if (argc < 3) {
+    // With no arguments, show a default tour.
+    if (argc == 1) {
+      print_properties(GaussianCube(8, 4));
+      print_properties(GaussianTree(4));
+      print_properties(ExchangedHypercube(3, 2));
+      return 0;
+    }
+    return usage();
+  }
+  const std::string kind = argv[1];
+  try {
+    if (kind == "gc" && argc >= 4) {
+      const GaussianCube gc(static_cast<Dim>(std::stoul(argv[2])),
+                            std::stoull(argv[3]));
+      if (argc == 4) {
+        print_properties(gc);
+      } else if (std::string(argv[4]) == "dot" && argc == 5) {
+        write_dot(std::cout, gc);
+      } else if (std::string(argv[4]) == "node" && argc == 6) {
+        print_node(gc, static_cast<NodeId>(std::stoul(argv[5])));
+      } else if (std::string(argv[4]) == "route" && argc == 7) {
+        const FfgcrRouter router(gc);
+        const auto s = static_cast<NodeId>(std::stoul(argv[5]));
+        const auto d = static_cast<NodeId>(std::stoul(argv[6]));
+        const auto result = router.plan(s, d);
+        std::cout << "route " << s << " -> " << d << " ("
+                  << result.route->length() << " hops):";
+        for (const NodeId u : result.route->nodes()) std::cout << " " << u;
+        std::cout << "\n";
+      } else {
+        return usage();
+      }
+      return 0;
+    }
+    if (kind == "tree" && argc >= 3) {
+      const GaussianTree tree(static_cast<Dim>(std::stoul(argv[2])));
+      if (argc == 3) {
+        print_properties(tree);
+        std::cout << "  tree diameter: " << tree.diameter() << "\n";
+      } else if (std::string(argv[3]) == "dot" && argc == 4) {
+        write_dot(std::cout, tree);
+      } else if (std::string(argv[3]) == "node" && argc == 5) {
+        print_node(tree, static_cast<NodeId>(std::stoul(argv[4])));
+      } else if (std::string(argv[3]) == "route" && argc == 6) {
+        const auto s = static_cast<NodeId>(std::stoul(argv[4]));
+        const auto d = static_cast<NodeId>(std::stoul(argv[5]));
+        std::cout << "tree path:";
+        for (const NodeId u : tree.path(s, d)) std::cout << " " << u;
+        std::cout << "\n";
+      } else {
+        return usage();
+      }
+      return 0;
+    }
+    if (kind == "eh" && argc >= 4) {
+      const ExchangedHypercube eh(static_cast<Dim>(std::stoul(argv[2])),
+                                  static_cast<Dim>(std::stoul(argv[3])));
+      if (argc == 4) {
+        print_properties(eh);
+      } else if (std::string(argv[4]) == "node" && argc == 6) {
+        print_node(eh, static_cast<NodeId>(std::stoul(argv[5])));
+      } else {
+        return usage();
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,46 @@
+#include "fault/categorize.hpp"
+
+namespace gcube {
+
+std::string_view to_string(FaultCategory c) noexcept {
+  switch (c) {
+    case FaultCategory::A:
+      return "A";
+    case FaultCategory::B:
+      return "B";
+    case FaultCategory::C:
+      return "C";
+  }
+  return "?";
+}
+
+FaultCategory categorize_link_fault(const GaussianCube& gc, Dim c) noexcept {
+  return c >= gc.alpha() ? FaultCategory::A : FaultCategory::B;
+}
+
+FaultCategory categorize_node_fault(const GaussianCube& gc,
+                                    NodeId u) noexcept {
+  return gc.high_dim_count(gc.ending_class(u)) == 0 ? FaultCategory::B
+                                                    : FaultCategory::C;
+}
+
+CategoryCounts categorize_all(const GaussianCube& gc, const FaultSet& faults) {
+  CategoryCounts counts;
+  for (const LinkId& l : faults.faulty_links()) {
+    if (categorize_link_fault(gc, l.dim) == FaultCategory::A) {
+      ++counts.a;
+    } else {
+      ++counts.b;
+    }
+  }
+  for (const NodeId u : faults.faulty_nodes()) {
+    if (categorize_node_fault(gc, u) == FaultCategory::B) {
+      ++counts.b;
+    } else {
+      ++counts.c;
+    }
+  }
+  return counts;
+}
+
+}  // namespace gcube

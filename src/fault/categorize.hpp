@@ -1,0 +1,52 @@
+// Fault categorization (paper Definitions 3-5).
+//
+// The categories classify faults by which level of the two-level routing
+// decomposition they break in GC(n, 2^alpha):
+//   A — a link fault in a dimension >= alpha: breaks one hypercube-level
+//       move inside a single GEEC; handled by FT hypercube routing (Thm 3).
+//   B — a fault whose broken links are all in dimensions < alpha: a link
+//       fault in a tree dimension, or a node fault at a node with no
+//       hypercube-level links (|Dim(class)| == 0); breaks tree crossings.
+//   C — a node fault breaking links at both levels.
+// Together with the Exchanged-Hypercube machinery (Thm 5), B and C faults
+// are routed around when crossing tree edges.
+#pragma once
+
+#include <string_view>
+
+#include "fault/fault_set.hpp"
+#include "topology/gaussian_cube.hpp"
+
+namespace gcube {
+
+enum class FaultCategory { A, B, C };
+
+[[nodiscard]] std::string_view to_string(FaultCategory c) noexcept;
+
+/// Category of a link fault in dimension c of `gc` (Definitions 3/4):
+/// A when c >= alpha, B otherwise.
+[[nodiscard]] FaultCategory categorize_link_fault(const GaussianCube& gc,
+                                                  Dim c) noexcept;
+
+/// Category of a node fault at u (Definitions 4/5): B when the node has no
+/// link in any dimension >= alpha, C otherwise. (With alpha == 0 there are
+/// no tree dimensions at all; such node faults are reported as C — they are
+/// handled entirely at the hypercube level.)
+[[nodiscard]] FaultCategory categorize_node_fault(const GaussianCube& gc,
+                                                  NodeId u) noexcept;
+
+/// Counts of faults in `faults` by category, relative to `gc`.
+struct CategoryCounts {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  std::size_t c = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept { return a + b + c; }
+  /// True iff every fault is an A-category link fault (the Theorem 3 regime).
+  [[nodiscard]] bool only_a() const noexcept { return b == 0 && c == 0; }
+};
+
+[[nodiscard]] CategoryCounts categorize_all(const GaussianCube& gc,
+                                            const FaultSet& faults);
+
+}  // namespace gcube

@@ -1,0 +1,25 @@
+#include "fault/fault_set.hpp"
+
+namespace gcube {
+
+void FaultSet::fail_node(NodeId u) {
+  if (faulty_nodes_set_.insert(u).second) {
+    faulty_nodes_.push_back(u);
+  }
+}
+
+void FaultSet::fail_link(NodeId u, Dim c) {
+  const LinkId l = LinkId::of(u, c);
+  if (faulty_links_set_.insert(key(l)).second) {
+    faulty_links_.push_back(l);
+  }
+}
+
+void FaultSet::clear() {
+  faulty_nodes_.clear();
+  faulty_links_.clear();
+  faulty_nodes_set_.clear();
+  faulty_links_set_.clear();
+}
+
+}  // namespace gcube

@@ -1,0 +1,89 @@
+// Fault sets: which nodes and links of a network are broken.
+//
+// Simulation assumption (3) of the paper: a faulty node makes all of its
+// incident links faulty. FaultSet therefore distinguishes a link being
+// *marked* faulty (an A/B-category link error) from a link being *unusable*
+// (marked faulty, or either endpoint node faulty) — routing cares about the
+// latter, categorization (fault/categorize.hpp) about the former.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace gcube {
+
+/// Identifies one undirected link by its lower endpoint (bit c cleared) and
+/// dimension.
+struct LinkId {
+  NodeId lo;  // endpoint with bit `dim` == 0
+  Dim dim;
+
+  /// Canonical id of the link in dimension c incident to u.
+  [[nodiscard]] static LinkId of(NodeId u, Dim c) noexcept {
+    return {u & ~(NodeId{1} << c), c};
+  }
+  [[nodiscard]] NodeId hi() const noexcept { return flip_bit(lo, dim); }
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+class FaultSet {
+ public:
+  /// Marks node u faulty. Idempotent.
+  void fail_node(NodeId u);
+
+  /// Marks the link in dimension c at node u faulty (either endpoint may be
+  /// given). Idempotent.
+  void fail_link(NodeId u, Dim c);
+
+  [[nodiscard]] bool node_faulty(NodeId u) const {
+    return faulty_nodes_set_.contains(u);
+  }
+
+  /// True iff the link itself carries a fault mark (independent of endpoint
+  /// node status).
+  [[nodiscard]] bool link_marked(NodeId u, Dim c) const {
+    return faulty_links_set_.contains(key(LinkId::of(u, c)));
+  }
+
+  /// True iff a packet may traverse the link in dimension c from node u:
+  /// the link is not marked faulty and neither endpoint node is faulty.
+  [[nodiscard]] bool link_usable(NodeId u, Dim c) const {
+    return !link_marked(u, c) && !node_faulty(u) &&
+           !node_faulty(flip_bit(u, c));
+  }
+
+  [[nodiscard]] std::size_t node_fault_count() const {
+    return faulty_nodes_.size();
+  }
+  [[nodiscard]] std::size_t link_fault_count() const {
+    return faulty_links_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    return faulty_nodes_.empty() && faulty_links_.empty();
+  }
+
+  /// Faulty nodes / marked links in insertion order (deterministic).
+  [[nodiscard]] const std::vector<NodeId>& faulty_nodes() const {
+    return faulty_nodes_;
+  }
+  [[nodiscard]] const std::vector<LinkId>& faulty_links() const {
+    return faulty_links_;
+  }
+
+  void clear();
+
+ private:
+  [[nodiscard]] static std::uint64_t key(LinkId l) noexcept {
+    return (static_cast<std::uint64_t>(l.lo) << 6) | l.dim;
+  }
+
+  std::vector<NodeId> faulty_nodes_;
+  std::vector<LinkId> faulty_links_;
+  std::unordered_set<NodeId> faulty_nodes_set_;
+  std::unordered_set<std::uint64_t> faulty_links_set_;
+};
+
+}  // namespace gcube

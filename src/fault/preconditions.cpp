@@ -1,0 +1,170 @@
+#include "fault/preconditions.hpp"
+
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "fault/categorize.hpp"
+#include "topology/gaussian_tree.hpp"
+#include "util/error.hpp"
+
+namespace gcube {
+
+namespace {
+
+/// Identifies one GEEC hypercube: (ending class, fixed-bits key).
+using GeecId = std::uint64_t;
+
+[[nodiscard]] GeecId geec_id(const GaussianCube& gc, NodeId u) {
+  return (static_cast<std::uint64_t>(gc.ending_class(u)) << 32) |
+         gc.geec_key(u);
+}
+
+std::string describe_geec(const GaussianCube& gc, GeecId id,
+                          std::size_t count, Dim limit) {
+  std::ostringstream ss;
+  ss << "GEEC(class=" << (id >> 32) << ", key=" << (id & 0xffffffffu)
+     << ") holds " << count << " fault(s), limit N(k)=" << limit << " in "
+     << gc.name();
+  return ss.str();
+}
+
+/// Per-GEEC fault counting shared by Theorem 3 and the combined check.
+/// When `count_nodes` is set, faulty nodes inside a GEEC count as faulty
+/// components of that GEEC (Theorem 3 proper has link faults only).
+PreconditionReport check_per_geec(const GaussianCube& gc,
+                                  const FaultSet& faults, bool count_nodes) {
+  PreconditionReport report;
+  std::map<GeecId, std::size_t> per_geec;
+  for (const LinkId& l : faults.faulty_links()) {
+    if (l.dim < gc.alpha()) continue;  // tree-dimension faults handled by Thm 5
+    // Both endpoints share class and key because l.dim is in Dim(class).
+    ++per_geec[geec_id(gc, l.lo)];
+  }
+  if (count_nodes) {
+    for (const NodeId u : faults.faulty_nodes()) {
+      if (gc.high_dim_count(gc.ending_class(u)) == 0) continue;  // pure B fault
+      ++per_geec[geec_id(gc, u)];
+    }
+  }
+  for (const auto& [id, count] : per_geec) {
+    const auto k = static_cast<NodeId>(id >> 32);
+    const Dim limit = gc.high_dim_count(k);
+    if (count >= limit) {
+      report.holds = false;
+      report.violations.push_back({describe_geec(gc, id, count, limit)});
+    }
+  }
+  return report;
+}
+
+/// Identifies one crossing structure G(p, q, k): tree-edge classes p < q
+/// plus the fixed-bits value k.
+using CrossingId = std::array<NodeId, 3>;
+
+struct CrossingCounts {
+  std::size_t side_p = 0;  // faulty components among class-p side nodes/links
+  std::size_t side_q = 0;
+  std::size_t cross = 0;  // faulty cross links with nonfaulty endpoints
+};
+
+/// The fixed-bits value identifying which G(p, q, k) a node of class p or q
+/// belongs to: all bits outside [0, alpha) ∪ Dim(p) ∪ Dim(q).
+[[nodiscard]] NodeId crossing_key(const GaussianCube& gc, NodeId u, NodeId p,
+                                  NodeId q) {
+  const NodeId free =
+      low_mask(gc.alpha()) | gc.high_dims_mask(p) | gc.high_dims_mask(q);
+  return u & low_bits(~free, gc.dims());
+}
+
+}  // namespace
+
+PreconditionReport check_theorem3(const GaussianCube& gc,
+                                  const FaultSet& faults) {
+  PreconditionReport report;
+  const CategoryCounts cats = categorize_all(gc, faults);
+  if (!cats.only_a()) {
+    report.holds = false;
+    report.violations.push_back(
+        {"Theorem 3 covers A-category (high-dimension link) faults only; "
+         "found " +
+         std::to_string(cats.b) + " B and " + std::to_string(cats.c) +
+         " C fault(s)"});
+    return report;
+  }
+  return check_per_geec(gc, faults, /*count_nodes=*/false);
+}
+
+PreconditionReport check_theorem5(const GaussianCube& gc,
+                                  const FaultSet& faults) {
+  PreconditionReport report;
+  std::map<CrossingId, CrossingCounts> per_crossing;
+  const Dim alpha = gc.alpha();
+  const GaussianTree tree(alpha);  // class-level quotient tree T_alpha
+
+  // Attribute each fault to every crossing structure it belongs to.
+  for (const NodeId u : faults.faulty_nodes()) {
+    const NodeId p = gc.ending_class(u);
+    for (const NodeId q : tree.neighbors(p)) {
+      const NodeId k = crossing_key(gc, u, p, q);
+      auto& counts = per_crossing[{p < q ? p : q, p < q ? q : p, k}];
+      (p < q ? counts.side_p : counts.side_q) += 1;
+    }
+  }
+  for (const LinkId& l : faults.faulty_links()) {
+    if (l.dim >= alpha) {
+      // An intra-class link: lies on the class-p side of every crossing
+      // structure at p.
+      const NodeId p = gc.ending_class(l.lo);
+      for (const NodeId q : tree.neighbors(p)) {
+        const NodeId k = crossing_key(gc, l.lo, p, q);
+        auto& counts = per_crossing[{p < q ? p : q, p < q ? q : p, k}];
+        (p < q ? counts.side_p : counts.side_q) += 1;
+      }
+    } else {
+      // A tree-dimension (cross) link; counted only when both endpoints are
+      // nonfaulty (Theorem 4's F_0 definition excludes links already dead
+      // via a node fault).
+      if (faults.node_faulty(l.lo) || faults.node_faulty(l.hi())) continue;
+      const NodeId p = gc.ending_class(l.lo);
+      const NodeId q = gc.ending_class(l.hi());
+      const NodeId k = crossing_key(gc, l.lo, p, q);
+      per_crossing[{p < q ? p : q, p < q ? q : p, k}].cross += 1;
+    }
+  }
+
+  for (const auto& [id, counts] : per_crossing) {
+    const auto [p, q, k] = id;
+    const Dim dim_p = gc.high_dim_count(p);
+    const Dim dim_q = gc.high_dim_count(q);
+    auto violated = [](std::size_t faults_seen, Dim limit) {
+      return faults_seen > 0 && faults_seen >= limit;
+    };
+    if (violated(counts.side_p + counts.cross, dim_p) ||
+        violated(counts.side_q + counts.cross, dim_q)) {
+      std::ostringstream ss;
+      ss << "crossing G(p=" << p << ", q=" << q << ", k=" << k << ") has "
+         << counts.side_p << "+" << counts.cross << " faults vs |Dim(p)|="
+         << dim_p << " and " << counts.side_q << "+" << counts.cross
+         << " vs |Dim(q)|=" << dim_q << " in " << gc.name();
+      report.holds = false;
+      report.violations.push_back({ss.str()});
+    }
+  }
+  return report;
+}
+
+PreconditionReport check_ftgcr_precondition(const GaussianCube& gc,
+                                            const FaultSet& faults) {
+  PreconditionReport report = check_per_geec(gc, faults, /*count_nodes=*/true);
+  PreconditionReport crossing = check_theorem5(gc, faults);
+  if (!crossing.holds) {
+    report.holds = false;
+    for (auto& v : crossing.violations) {
+      report.violations.push_back(std::move(v));
+    }
+  }
+  return report;
+}
+
+}  // namespace gcube

@@ -1,0 +1,57 @@
+// Machine-checkable preconditions of the paper's Theorems 3 and 5.
+//
+// Theorem 3 (A-category faults only): routing succeeds for every nonfaulty
+// source/destination pair if every GEEC(k, t) hypercube contains fewer than
+// N(k) = |Dim(k)| faulty components.
+//
+// Theorem 5 (B/C-category faults): for every Gaussian-Tree edge (p, q) and
+// every fixed-bits value k, the crossing structure G(p, q, k) ≅
+// EH(|Dim(p)|, |Dim(q)|) must satisfy e_s + e_0 < |Dim(p)| and
+// e_t + e_0 < |Dim(q)|, where e_s / e_t count faulty components on the two
+// sides and e_0 counts faulty cross links between nonfaulty endpoints.
+//
+// Boundary reading: the paper states strict inequalities, which with zero
+// faults in a structure of |Dim| == 0 would read "0 < 0" and never hold; we
+// apply each inequality only to structures that actually contain faults
+// (a fault-free structure needs no rerouting). This is the only sensible
+// reading and is what the routing algorithm actually requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/gaussian_cube.hpp"
+
+namespace gcube {
+
+/// One violated constraint, for diagnostics.
+struct PreconditionViolation {
+  std::string what;  // human-readable description of the violated bound
+};
+
+struct PreconditionReport {
+  bool holds = true;
+  std::vector<PreconditionViolation> violations;
+
+  explicit operator bool() const noexcept { return holds; }
+};
+
+/// Theorem 3 precondition: all faults are A-category link faults, and each
+/// GEEC hypercube holds fewer than |Dim(k)| of them.
+[[nodiscard]] PreconditionReport check_theorem3(const GaussianCube& gc,
+                                                const FaultSet& faults);
+
+/// Theorem 5 precondition over every crossing structure G(p, q, k).
+[[nodiscard]] PreconditionReport check_theorem5(const GaussianCube& gc,
+                                                const FaultSet& faults);
+
+/// The precondition the full FTGCR strategy needs: the Theorem-3-style bound
+/// per GEEC, counting faulty nodes as well as marked links, plus the
+/// Theorem-5 crossing bounds. This is what the routing tests and the fault
+/// injection campaign check before asserting guaranteed delivery.
+[[nodiscard]] PreconditionReport check_ftgcr_precondition(
+    const GaussianCube& gc, const FaultSet& faults);
+
+}  // namespace gcube

@@ -1,0 +1,163 @@
+#include "fault/status_exchange.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+namespace {
+
+/// Compact fault-item table: one bit per tracked fault.
+class BitTable {
+ public:
+  explicit BitTable(std::size_t bits) : blocks_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { blocks_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (blocks_[i / 64] >> (i % 64)) & 1u;
+  }
+  /// Returns true iff this table changed.
+  bool merge(const BitTable& other) {
+    bool changed = false;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      const std::uint64_t merged = blocks_[b] | other.blocks_[b];
+      changed = changed || merged != blocks_[b];
+      blocks_[b] = merged;
+    }
+    return changed;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (const auto b : blocks_) {
+      total += static_cast<std::size_t>(std::popcount(b));
+    }
+    return total;
+  }
+  [[nodiscard]] bool covers(const BitTable& other) const {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if ((other.blocks_[b] & ~blocks_[b]) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> blocks_;
+};
+
+}  // namespace
+
+StatusExchangeResult simulate_status_exchange(const GaussianCube& gc,
+                                              const FaultSet& faults) {
+  StatusExchangeResult result;
+  const auto nodes = static_cast<std::size_t>(gc.node_count());
+
+  // Enumerate fault items and the classes they are related to.
+  struct Item {
+    bool is_node;
+    NodeId node;  // faulty node, or the link's lo endpoint
+    Dim dim;      // link dimension (links only)
+  };
+  std::vector<Item> items;
+  for (const NodeId u : faults.faulty_nodes()) {
+    items.push_back({true, u, 0});
+  }
+  for (const LinkId& l : faults.faulty_links()) {
+    items.push_back({false, l.lo, l.dim});
+  }
+  std::map<NodeId, std::size_t> class_fault_count;
+  auto relates_to = [&](const Item& item, NodeId cls) {
+    if (item.is_node) return gc.ending_class(item.node) == cls;
+    return gc.ending_class(item.node) == cls ||
+           gc.ending_class(flip_bit(item.node, item.dim)) == cls;
+  };
+  for (NodeId k = 0; k < gc.class_count(); ++k) {
+    std::size_t count = 0;
+    for (const Item& item : items) count += relates_to(item, k);
+    class_fault_count[k] = count;
+    result.max_class_faults = std::max(result.max_class_faults, count);
+  }
+
+  // Seed: every nonfaulty node observes the faults incident to it that are
+  // related to its own class (dead links reveal both link and neighbor-node
+  // faults).
+  std::vector<BitTable> table(nodes, BitTable(items.size()));
+  for (std::size_t u64 = 0; u64 < nodes; ++u64) {
+    const auto u = static_cast<NodeId>(u64);
+    if (faults.node_faulty(u)) continue;
+    const NodeId cls = gc.ending_class(u);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!relates_to(items[i], cls)) continue;
+      const bool incident =
+          items[i].is_node
+              ? hamming(items[i].node, u) == 1 &&
+                    gc.has_link(u, lsb_index(items[i].node ^ u))
+              : items[i].node == u || flip_bit(items[i].node, items[i].dim) == u;
+      if (incident) table[u64].set(i);
+    }
+  }
+
+  // Synchronous gossip over usable same-class (GEEC) links to a fixpoint.
+  bool changed = !items.empty();
+  while (changed) {
+    changed = false;
+    std::vector<BitTable> next = table;
+    for (std::size_t u64 = 0; u64 < nodes; ++u64) {
+      const auto u = static_cast<NodeId>(u64);
+      if (faults.node_faulty(u)) continue;
+      for (NodeId m = gc.high_dims_mask(gc.ending_class(u)); m != 0;
+           m &= m - 1) {
+        const Dim c = lsb_index(m);
+        if (!faults.link_usable(u, c)) continue;
+        changed = next[u64].merge(table[flip_bit(u, c)]) || changed;
+      }
+    }
+    table.swap(next);
+    if (changed) ++result.rounds_to_convergence;
+  }
+
+  for (std::size_t u64 = 0; u64 < nodes; ++u64) {
+    if (faults.node_faulty(static_cast<NodeId>(u64))) continue;
+    result.max_table_entries =
+        std::max(result.max_table_entries, table[u64].count());
+  }
+
+  // Completeness: within every connected same-class component (over usable
+  // GEEC links), every node's table must cover the union of the component's
+  // seeds — which at a fixpoint means covering any member's table.
+  std::vector<bool> seen(nodes, false);
+  for (std::size_t start = 0; start < nodes; ++start) {
+    const auto s = static_cast<NodeId>(start);
+    if (seen[start] || faults.node_faulty(s)) continue;
+    std::vector<NodeId> component;
+    std::deque<NodeId> queue{s};
+    seen[start] = true;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      component.push_back(u);
+      for (NodeId m = gc.high_dims_mask(gc.ending_class(u)); m != 0;
+           m &= m - 1) {
+        const Dim c = lsb_index(m);
+        if (!faults.link_usable(u, c)) continue;
+        const NodeId v = flip_bit(u, c);
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (const NodeId u : component) {
+      if (!table[u].covers(table[component.front()]) ||
+          !table[component.front()].covers(table[u])) {
+        result.converged_complete = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gcube

@@ -1,0 +1,40 @@
+#include "fault/tolerance_bound.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+Dim t_k_closed_form(Dim n, Dim alpha, NodeId k) noexcept {
+  // Dimensions congruent to k mod 2^alpha in [0, n-1] are k, k + 2^alpha,
+  // k + 2*2^alpha, ...; the only candidate below alpha is k itself.
+  if (k > n - 1) return 0;
+  const Dim count_all = (n - 1 - k) / static_cast<Dim>(pow2(alpha)) + 1;
+  return count_all - (k < alpha ? 1u : 0u);
+}
+
+std::uint64_t max_tolerable_faults(const GaussianCube& gc) {
+  return max_tolerable_faults(gc.dims(), gc.alpha());
+}
+
+std::uint64_t max_tolerable_faults(Dim n, Dim alpha) {
+  GCUBE_REQUIRE(alpha <= n && n <= kMaxDimension,
+                "invalid GC parameters for tolerance bound");
+  std::uint64_t total = 0;
+  const std::uint64_t classes = pow2(alpha);
+  for (std::uint64_t k = 0; k < classes; ++k) {
+    const Dim tk = t_k_closed_form(n, alpha, static_cast<NodeId>(k));
+    if (tk >= 1) {
+      total += static_cast<std::uint64_t>(tk - 1) << (n - alpha - tk);
+    }
+  }
+  return total;
+}
+
+double log2_max_tolerable_faults(Dim n, Dim alpha) {
+  const std::uint64_t t = max_tolerable_faults(n, alpha);
+  return t == 0 ? -1.0 : std::log2(static_cast<double>(t));
+}
+
+}  // namespace gcube

@@ -1,0 +1,36 @@
+// Fault-tolerance bounds: N(k), t_k, and T(GC) (paper Theorem 3 and Fig. 4).
+//
+// N(k) = t_k = |Dim(k)| is the dimension of every GEEC hypercube of ending
+// class k; each such hypercube tolerates at most t_k - 1 A-category faults,
+// and class k contains 2^(n - alpha - t_k) disjoint GEECs, so the maximum
+// number of tolerable A-category link faults across the whole cube is
+//
+//   T(GC(n, 2^alpha)) = sum over classes k of max(t_k - 1, 0) * 2^(n-alpha-t_k).
+//
+// The closed form of t_k — floor((n-1-k)/2^alpha) + 1 - [k < alpha] — is the
+// paper's formula (OCR-damaged in the source text; reconstructed and
+// verified against direct enumeration of Dim(k) in the tests).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/gaussian_cube.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+/// Closed-form t_k = |Dim(k)| for GC(n, 2^alpha). Preconditions:
+/// alpha <= n, k < 2^alpha.
+[[nodiscard]] Dim t_k_closed_form(Dim n, Dim alpha, NodeId k) noexcept;
+
+/// Maximum number of A-category link faults tolerable under Theorem 3.
+[[nodiscard]] std::uint64_t max_tolerable_faults(const GaussianCube& gc);
+
+/// Convenience overload computing the bound without building the topology.
+[[nodiscard]] std::uint64_t max_tolerable_faults(Dim n, Dim alpha);
+
+/// log2 of the bound, as plotted in the paper's Figure 4 (returns -inf-like
+/// negative value, namely -1.0, when the bound is 0).
+[[nodiscard]] double log2_max_tolerable_faults(Dim n, Dim alpha);
+
+}  // namespace gcube

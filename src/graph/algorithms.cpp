@@ -1,0 +1,110 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  GCUBE_REQUIRE(src < g.node_count(), "BFS source out of range");
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs_distances(
+    const Topology& topo, NodeId src,
+    const std::function<bool(NodeId, Dim)>& link_ok) {
+  GCUBE_REQUIRE(src < topo.node_count(), "BFS source out of range");
+  std::vector<std::uint32_t> dist(topo.node_count(), kUnreachable);
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  const Dim n = topo.dims();
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (Dim c = 0; c < n; ++c) {
+      if (!topo.has_link(u, c) || !link_ok(u, c)) continue;
+      const NodeId v = Topology::neighbor(u, c);
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t shortest_path_length(const Topology& topo, NodeId s, NodeId d) {
+  const auto dist =
+      bfs_distances(topo, s, [](NodeId, Dim) { return true; });
+  return dist[d];
+}
+
+std::uint64_t component_count(const Graph& g) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::uint64_t components = 0;
+  for (std::uint64_t start = 0; start < g.node_count(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::deque<NodeId> queue{static_cast<NodeId>(start)};
+    seen[start] = true;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) == 1; }
+
+bool is_tree(const Graph& g) {
+  // Lemma 1 in the paper: connected with exactly n - 1 edges.
+  return is_connected(g) && g.edge_count() == g.node_count() - 1;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint64_t u = 0; u < g.node_count(); ++u) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(u));
+    for (const std::uint32_t dv : dist) {
+      GCUBE_REQUIRE(dv != kUnreachable, "diameter requires a connected graph");
+      best = std::max(best, dv);
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  Dim max_deg = 0;
+  for (std::uint64_t u = 0; u < g.node_count(); ++u) {
+    max_deg = std::max(max_deg, g.degree(static_cast<NodeId>(u)));
+  }
+  std::vector<std::uint64_t> hist(max_deg + 1, 0);
+  for (std::uint64_t u = 0; u < g.node_count(); ++u) {
+    ++hist[g.degree(static_cast<NodeId>(u))];
+  }
+  return hist;
+}
+
+}  // namespace gcube

@@ -1,0 +1,49 @@
+// Generic graph algorithms used for verification and analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/topology.hpp"
+
+namespace gcube {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS distances from `src` over a materialized graph.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId src);
+
+/// BFS distances from `src` over a topology, traversing only links for which
+/// `link_ok(u, c)` holds (pass an always-true predicate for the fault-free
+/// network). Used to compute fault-aware shortest paths as ground truth.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(
+    const Topology& topo, NodeId src,
+    const std::function<bool(NodeId, Dim)>& link_ok);
+
+/// Shortest-path length between two nodes in a fault-free topology, or
+/// kUnreachable.
+[[nodiscard]] std::uint32_t shortest_path_length(const Topology& topo,
+                                                 NodeId s, NodeId d);
+
+/// Number of connected components.
+[[nodiscard]] std::uint64_t component_count(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff g is a tree (connected with exactly n-1 edges).
+[[nodiscard]] bool is_tree(const Graph& g);
+
+/// Exact diameter via all-pairs BFS. Requires a connected graph; intended
+/// for small verification graphs. Returns 0 for a single-node graph.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// degree -> number of nodes with that degree.
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+}  // namespace gcube

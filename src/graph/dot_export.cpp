@@ -1,0 +1,75 @@
+#include "graph/dot_export.hpp"
+
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+namespace {
+
+std::string label_of(NodeId u, Dim n, bool binary) {
+  if (!binary) return std::to_string(u);
+  std::string out(n, '0');
+  for (Dim i = 0; i < n; ++i) {
+    if (bit(u, n - 1 - i)) out[i] = '1';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Topology& topo,
+               const DotOptions& options) {
+  GCUBE_REQUIRE(topo.node_count() <= pow2(12),
+                "DOT export is meant for small networks");
+  const Dim n = topo.dims();
+
+  // Collect the highlighted route's links and nodes.
+  std::set<std::pair<NodeId, NodeId>> route_links;
+  std::set<NodeId> route_nodes;
+  if (options.route != nullptr) {
+    const auto nodes = options.route->nodes();
+    route_nodes.insert(nodes.begin(), nodes.end());
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      route_links.insert({std::min(nodes[i], nodes[i + 1]),
+                          std::max(nodes[i], nodes[i + 1])});
+    }
+  }
+
+  os << "graph \"" << topo.name() << "\" {\n"
+     << "  layout=neato;\n  node [shape=circle, fontsize=10];\n";
+  for (std::uint64_t u64 = 0; u64 < topo.node_count(); ++u64) {
+    const auto u = static_cast<NodeId>(u64);
+    os << "  n" << u << " [label=\"" << label_of(u, n, options.binary_labels)
+       << "\"";
+    if (options.faults != nullptr && options.faults->node_faulty(u)) {
+      os << ", color=red, fontcolor=red";
+    } else if (route_nodes.contains(u)) {
+      os << ", color=blue, penwidth=2";
+    }
+    os << "];\n";
+  }
+  for (std::uint64_t u64 = 0; u64 < topo.node_count(); ++u64) {
+    const auto u = static_cast<NodeId>(u64);
+    for (Dim c = 0; c < n; ++c) {
+      const NodeId v = Topology::neighbor(u, c);
+      if (v < u || !topo.has_link(u, c)) continue;
+      os << "  n" << u << " -- n" << v;
+      const bool faulty_link =
+          options.faults != nullptr && !options.faults->link_usable(u, c);
+      const bool on_route = route_links.contains({u, v});
+      if (faulty_link) {
+        os << " [color=red, style=dashed]";
+      } else if (on_route) {
+        os << " [color=blue, penwidth=2]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace gcube

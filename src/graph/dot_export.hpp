@@ -1,0 +1,27 @@
+// GraphViz DOT export for topologies, fault sets, and routes — the "let me
+// actually look at this network" tool an adopter reaches for first.
+#pragma once
+
+#include <iosfwd>
+
+#include "fault/fault_set.hpp"
+#include "routing/route.hpp"
+#include "topology/topology.hpp"
+
+namespace gcube {
+
+struct DotOptions {
+  /// Render node labels in binary (default) or decimal.
+  bool binary_labels = true;
+  /// Color faulty nodes/links red; requires a fault set.
+  const FaultSet* faults = nullptr;
+  /// Highlight one route in bold blue.
+  const Route* route = nullptr;
+};
+
+/// Writes an undirected DOT graph of `topo` (intended for small networks;
+/// guarded to <= 2^12 nodes).
+void write_dot(std::ostream& os, const Topology& topo,
+               const DotOptions& options = {});
+
+}  // namespace gcube

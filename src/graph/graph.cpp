@@ -1,0 +1,37 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+Graph::Graph(std::uint64_t nodes) : adjacency_(nodes) {}
+
+Graph::Graph(const Topology& topo) : adjacency_(topo.node_count()) {
+  const Dim n = topo.dims();
+  for (std::uint64_t u64 = 0; u64 < adjacency_.size(); ++u64) {
+    const auto u = static_cast<NodeId>(u64);
+    for (Dim c = 0; c < n; ++c) {
+      const NodeId v = Topology::neighbor(u, c);
+      if (u < v && topo.has_link(u, c)) add_edge(u, v);
+    }
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  GCUBE_REQUIRE(u < adjacency_.size() && v < adjacency_.size(),
+                "edge endpoint out of range");
+  GCUBE_REQUIRE(u != v, "self-loops are not allowed");
+  GCUBE_REQUIRE(!has_edge(u, v), "duplicate edge");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edges_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto& adj = adjacency_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+}  // namespace gcube

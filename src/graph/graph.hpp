@@ -1,0 +1,45 @@
+// Materialized undirected graph.
+//
+// Topologies are O(1) predicates and never stored; tests and verification
+// code, however, want explicit adjacency to run generic graph algorithms
+// against. Graph materializes a Topology (or is built edge-by-edge) for
+// node counts small enough to enumerate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+class Graph {
+ public:
+  /// An empty graph on `nodes` vertices.
+  explicit Graph(std::uint64_t nodes);
+
+  /// Materializes every link of a topology.
+  explicit Graph(const Topology& topo);
+
+  /// Adds an undirected edge. Self-loops and duplicates are rejected.
+  void add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::uint64_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+  [[nodiscard]] Dim degree(NodeId u) const {
+    return static_cast<Dim>(adjacency_[u].size());
+  }
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace gcube

@@ -1,0 +1,101 @@
+#include "routing/collectives.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+SpanningTree build_bfs_spanning_tree(const Topology& topo, NodeId root,
+                                     const FaultSet* faults) {
+  GCUBE_REQUIRE(root < topo.node_count(), "root out of range");
+  GCUBE_REQUIRE(faults == nullptr || !faults->node_faulty(root),
+                "root must be nonfaulty");
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(topo.node_count(), SpanningTree::kNoParent);
+  tree.children.assign(topo.node_count(), {});
+  tree.depth.assign(topo.node_count(), SpanningTree::kUnreachableDepth);
+  tree.parent[root] = root;
+  tree.depth[root] = 0;
+  tree.reached = 1;
+  std::deque<NodeId> queue{root};
+  const Dim n = topo.dims();
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (Dim c = 0; c < n; ++c) {
+      if (!topo.has_link(u, c)) continue;
+      if (faults != nullptr && !faults->link_usable(u, c)) continue;
+      const NodeId v = Topology::neighbor(u, c);
+      if (tree.parent[v] != SpanningTree::kNoParent) continue;
+      tree.parent[v] = u;
+      tree.depth[v] = tree.depth[u] + 1;
+      tree.max_depth = std::max(tree.max_depth, tree.depth[v]);
+      tree.children[u].push_back(v);
+      ++tree.reached;
+      queue.push_back(v);
+    }
+  }
+  return tree;
+}
+
+std::uint64_t single_port_broadcast_rounds(const SpanningTree& tree) {
+  // time(u) = max over its children (ordered longest first) of
+  // i + 1 + time(child_i), computed bottom-up. An explicit post-order
+  // avoids recursion depth limits on deep trees.
+  std::vector<std::uint64_t> time(tree.parent.size(), 0);
+  std::vector<NodeId> order;
+  order.reserve(tree.reached);
+  std::deque<NodeId> queue{tree.root};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (const NodeId v : tree.children[u]) queue.push_back(v);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    std::vector<std::uint64_t> kids;
+    kids.reserve(tree.children[u].size());
+    for (const NodeId v : tree.children[u]) kids.push_back(time[v]);
+    std::sort(kids.begin(), kids.end(), std::greater<>());
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      t = std::max(t, i + 1 + kids[i]);
+    }
+    time[u] = t;
+  }
+  return time[tree.root];
+}
+
+std::uint64_t all_port_broadcast_rounds(const SpanningTree& tree) {
+  return tree.max_depth;
+}
+
+MulticastResult multicast_tree(const Router& router, NodeId src,
+                               const std::vector<NodeId>& dests) {
+  MulticastResult result;
+  std::unordered_set<std::uint64_t> used;  // canonical (lo, dim) links
+  for (const NodeId d : dests) {
+    const RoutingResult planned = router.plan(src, d);
+    GCUBE_REQUIRE(planned.delivered(),
+                  "multicast requires routable destinations");
+    const Route& route = *planned.route;
+    result.max_route_length = std::max(result.max_route_length,
+                                       route.length());
+    result.total_route_length += route.length();
+    NodeId cur = src;
+    for (const Dim c : route.hops()) {
+      const LinkId l = LinkId::of(cur, c);
+      used.insert((std::uint64_t{l.lo} << 6) | l.dim);
+      cur = flip_bit(cur, c);
+    }
+  }
+  result.links_used = used.size();
+  return result;
+}
+
+}  // namespace gcube

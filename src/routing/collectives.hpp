@@ -1,0 +1,72 @@
+// Collective communication on Gaussian Cubes.
+//
+// The paper's introduction motivates GCs with efficient unicast, multicast,
+// broadcast and gather (its reference [1], Hsu/Chung/Hu). This module
+// provides those primitives on any bit-flip topology:
+//
+//  * build_bfs_spanning_tree — a minimum-depth spanning tree from a root
+//    (fault-aware when a FaultSet is given). On the hypercube with
+//    ascending neighbor order this is exactly the binomial tree.
+//  * single_port_broadcast_rounds — completion time when each node can
+//    send to one child per round (children scheduled longest-subtree
+//    first, the provably optimal order for a fixed tree).
+//  * all_port_broadcast_rounds — completion time when a node feeds all
+//    children at once: the tree depth. Gather is the same schedule in
+//    reverse, so these numbers cover both primitives.
+//  * multicast_tree — a multicast route set as the union of unicast routes
+//    from a Router, with the link count it occupies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "routing/router.hpp"
+#include "topology/topology.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+struct SpanningTree {
+  NodeId root = 0;
+  /// parent[v]; parent[root] == root; kNoParent for unreachable nodes.
+  std::vector<NodeId> parent;
+  std::vector<std::vector<NodeId>> children;
+  std::vector<std::uint32_t> depth;  // kUnreachableDepth if unreachable
+  std::uint32_t max_depth = 0;
+  std::uint64_t reached = 0;  // number of reachable nodes incl. root
+
+  static constexpr NodeId kNoParent = ~NodeId{0};
+  static constexpr std::uint32_t kUnreachableDepth = ~std::uint32_t{0};
+};
+
+/// Minimum-depth spanning tree by BFS from `root`, over usable links only
+/// when `faults` is non-null (faulty nodes are never attached).
+[[nodiscard]] SpanningTree build_bfs_spanning_tree(
+    const Topology& topo, NodeId root, const FaultSet* faults = nullptr);
+
+/// Rounds to broadcast from the root when each node sends to one child per
+/// round after receiving. Children are served longest-completion first —
+/// optimal for a fixed tree.
+[[nodiscard]] std::uint64_t single_port_broadcast_rounds(
+    const SpanningTree& tree);
+
+/// Rounds when every node serves all children simultaneously (= depth).
+[[nodiscard]] std::uint64_t all_port_broadcast_rounds(const SpanningTree& tree);
+
+struct MulticastResult {
+  /// Directed (node, dim) hops used at least once, counted once.
+  std::uint64_t links_used = 0;
+  /// Longest route among the destinations.
+  std::size_t max_route_length = 0;
+  /// Sum of route lengths (total traffic without route sharing).
+  std::uint64_t total_route_length = 0;
+};
+
+/// Multicast from src to dests as the union of the router's unicast routes.
+/// links_used measures sharing: the closer to the Steiner-tree size, the
+/// better the routes overlap.
+[[nodiscard]] MulticastResult multicast_tree(const Router& router, NodeId src,
+                                             const std::vector<NodeId>& dests);
+
+}  // namespace gcube

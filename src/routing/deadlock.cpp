@@ -1,0 +1,105 @@
+#include "routing/deadlock.hpp"
+
+namespace gcube {
+
+void ChannelDependencyGraph::add_route(const Route& route) {
+  NodeId cur = route.source();
+  std::uint64_t prev_channel = 0;
+  bool have_prev = false;
+  for (const Dim c : route.hops()) {
+    const std::uint64_t channel = channel_id(cur, c);
+    edges_.try_emplace(channel);  // register the channel even without deps
+    if (have_prev) {
+      edges_[prev_channel].insert(channel);
+    }
+    prev_channel = channel;
+    have_prev = true;
+    cur = flip_bit(cur, c);
+  }
+}
+
+void ChannelDependencyGraph::add_route(
+    const Route& route, const std::vector<std::uint32_t>& vcs) {
+  NodeId cur = route.source();
+  std::uint64_t prev_channel = 0;
+  bool have_prev = false;
+  std::size_t i = 0;
+  for (const Dim c : route.hops()) {
+    const std::uint64_t channel = channel_id(cur, c, vcs.at(i));
+    edges_.try_emplace(channel);
+    if (have_prev) {
+      edges_[prev_channel].insert(channel);
+    }
+    prev_channel = channel;
+    have_prev = true;
+    cur = flip_bit(cur, c);
+    ++i;
+  }
+}
+
+std::vector<std::uint32_t> annotate_virtual_channels(const Route& route) {
+  std::vector<std::uint32_t> vcs;
+  vcs.reserve(route.length());
+  std::uint32_t vc = 0;
+  Dim prev = 0;
+  bool have_prev = false;
+  for (const Dim c : route.hops()) {
+    if (have_prev && c <= prev) ++vc;
+    vcs.push_back(vc);
+    prev = c;
+    have_prev = true;
+  }
+  return vcs;
+}
+
+std::uint32_t virtual_channels_required(const Route& route) {
+  const auto vcs = annotate_virtual_channels(route);
+  return vcs.empty() ? 0 : vcs.back() + 1;
+}
+
+std::size_t ChannelDependencyGraph::dependency_count() const {
+  std::size_t count = 0;
+  for (const auto& [channel, outs] : edges_) count += outs.size();
+  return count;
+}
+
+bool ChannelDependencyGraph::has_cycle() const {
+  // Iterative three-color DFS.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<std::uint64_t, Color> color;
+  color.reserve(edges_.size());
+  for (const auto& [channel, outs] : edges_) {
+    color.emplace(channel, Color::kWhite);
+  }
+  struct Frame {
+    std::uint64_t channel;
+    std::unordered_set<std::uint64_t>::const_iterator next;
+  };
+  for (const auto& [start, start_outs] : edges_) {
+    if (color.at(start) != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    color[start] = Color::kGray;
+    stack.push_back({start, start_outs.begin()});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto& outs = edges_.at(top.channel);
+      if (top.next == outs.end()) {
+        color[top.channel] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::uint64_t next = *top.next;
+      ++top.next;
+      const auto it = color.find(next);
+      if (it == color.end()) continue;  // channel with no outgoing entry
+      if (it->second == Color::kGray) return true;
+      if (it->second == Color::kWhite) {
+        it->second = Color::kGray;
+        stack.push_back({next, edges_.at(next).begin()});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace gcube

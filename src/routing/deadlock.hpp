@@ -1,0 +1,70 @@
+// Channel-dependency analysis (deadlock freedom).
+//
+// The paper claims its strategy "generates deadlock-free routes". Under the
+// simulation model actually used (store-and-forward with eager readership —
+// service outpaces arrival) any set of finite, cycle-free routes is
+// deadlock-free. For stronger models (wormhole switching, bounded buffers)
+// the classical criterion is Dally & Seitz: routing is deadlock-free iff
+// the channel dependency graph (directed links as vertices; an edge
+// whenever some route uses one link immediately after another) is acyclic.
+// This module builds that graph from any set of routes so the claim can be
+// tested per model rather than taken on faith; bench/abl_route_overhead and
+// the routing tests report the findings (e-cube: acyclic; FFGCR's mixed
+// dimension order: not wormhole-safe in general — see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/route.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+class ChannelDependencyGraph {
+ public:
+  /// Records the channel sequence of one route.
+  void add_route(const Route& route);
+
+  /// Records a route whose hop i uses virtual channel vcs[i]: the vertex
+  /// set becomes (directed link, vc) pairs. With the ascending-vc
+  /// annotation from annotate_virtual_channels the graph stays acyclic.
+  void add_route(const Route& route, const std::vector<std::uint32_t>& vcs);
+
+  /// Number of distinct directed channels seen.
+  [[nodiscard]] std::size_t channel_count() const { return edges_.size(); }
+
+  /// Number of distinct dependency edges.
+  [[nodiscard]] std::size_t dependency_count() const;
+
+  /// Dally-Seitz criterion: true iff some dependency cycle exists.
+  [[nodiscard]] bool has_cycle() const;
+
+ private:
+  /// Directed channel id: (source node, dimension[, virtual channel]).
+  [[nodiscard]] static std::uint64_t channel_id(NodeId from, Dim dim,
+                                                std::uint32_t vc = 0) {
+    return (std::uint64_t{vc} << 38) | (std::uint64_t{from} << 6) | dim;
+  }
+
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> edges_;
+};
+
+/// Virtual-channel annotation making ANY route set wormhole-safe: hop i
+/// gets vc = number of dimension *descents* before it (vc increments
+/// whenever the dimension sequence goes down). Within one vc the dimensions
+/// strictly ascend, so dependencies are ordered by (vc, dimension) — a
+/// topological order — and the (link, vc) dependency graph is acyclic for
+/// any set of routes (tested for FFGCR's all-pairs sets, whose plain CDG is
+/// cyclic). The price is hardware VCs: one more than the route's descent
+/// count; bench/abl_virtual_channels measures how many FFGCR needs.
+[[nodiscard]] std::vector<std::uint32_t> annotate_virtual_channels(
+    const Route& route);
+
+/// Virtual channels needed for this route (max annotation + 1; 0 for an
+/// empty route).
+[[nodiscard]] std::uint32_t virtual_channels_required(const Route& route);
+
+}  // namespace gcube

@@ -1,0 +1,26 @@
+#include "routing/ecube.hpp"
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+RoutingResult EcubeRouter::plan(NodeId s, NodeId d) const {
+  GCUBE_REQUIRE(s < topo_.node_count() && d < topo_.node_count(),
+                "node out of range");
+  Route route(s);
+  NodeId cur = s;
+  NodeId diff = s ^ d;
+  while (diff != 0) {
+    const Dim c = lsb_index(diff);
+    diff &= diff - 1;
+    GCUBE_REQUIRE(topo_.has_link(cur, c),
+                  "e-cube requires a complete hypercube");
+    route.append(c);
+    cur = flip_bit(cur, c);
+  }
+  RoutingResult result;
+  result.route = std::move(route);
+  return result;
+}
+
+}  // namespace gcube

@@ -1,0 +1,27 @@
+// E-cube (dimension-ordered) routing for the binary hypercube.
+//
+// The classical baseline: flip differing dimensions in ascending order.
+// Valid on any topology in which every node has every link (Hypercube,
+// GC(n, 1)); used as the comparison router in benchmarks and as the
+// fault-free intra-GEEC move order.
+#pragma once
+
+#include "routing/router.hpp"
+#include "topology/topology.hpp"
+
+namespace gcube {
+
+class EcubeRouter final : public Router {
+ public:
+  /// `topo` must be a full hypercube (every link present); checked per hop
+  /// when planning.
+  explicit EcubeRouter(const Topology& topo) : topo_(topo) {}
+
+  [[nodiscard]] RoutingResult plan(NodeId s, NodeId d) const override;
+  [[nodiscard]] std::string name() const override { return "e-cube"; }
+
+ private:
+  const Topology& topo_;
+};
+
+}  // namespace gcube

@@ -1,0 +1,91 @@
+#include "routing/eh_embedding.hpp"
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+namespace {
+
+ExchangedHypercube make_eh(const GaussianCube& gc, NodeId p, NodeId q) {
+  const Dim s = gc.high_dim_count(p);
+  const Dim t = gc.high_dim_count(q);
+  GCUBE_REQUIRE(s >= 1 && t >= 1,
+                "EH embedding requires both classes to have hypercube "
+                "dimensions (|Dim| >= 1)");
+  return ExchangedHypercube(s, t);
+}
+
+}  // namespace
+
+EhEmbedding::EhEmbedding(const GaussianCube& gc, NodeId p, NodeId q,
+                         NodeId anchor)
+    : p_(p), q_(q), eh_(make_eh(gc, p, q)) {
+  const Dim alpha = gc.alpha();
+  const NodeId class_diff = p ^ q;
+  GCUBE_REQUIRE(popcount(class_diff) == 1 && lsb_index(class_diff) < alpha,
+                "p and q must be tree neighbors (differ in one tree bit)");
+  cross_dim_ = lsb_index(class_diff);
+
+  for (NodeId m = gc.high_dims_mask(p); m != 0; m &= m - 1) {
+    a_dims_.push_back(lsb_index(m));
+  }
+  for (NodeId m = gc.high_dims_mask(q); m != 0; m &= m - 1) {
+    b_dims_.push_back(lsb_index(m));
+  }
+  GCUBE_REQUIRE((gc.high_dims_mask(p) & gc.high_dims_mask(q)) == 0,
+                "Dim(p) and Dim(q) are disjoint by construction");
+
+  // Free bits of the structure: the whole low-alpha field never varies
+  // except for the cross bit, but nodes of the structure all carry either
+  // exactly p or exactly q there — so the fixed mask covers everything
+  // outside Dim(p) ∪ Dim(q) ∪ {cross bit}, with the low bits anchored to
+  // the shared bits of p and q.
+  const NodeId free = gc.high_dims_mask(p) | gc.high_dims_mask(q) |
+                      (NodeId{1} << cross_dim_);
+  fixed_mask_ = low_bits(~free, gc.dims());
+  const NodeId anchor_class = gc.ending_class(anchor);
+  GCUBE_REQUIRE(anchor_class == p || anchor_class == q,
+                "anchor must belong to class p or q");
+  fixed_bits_ = anchor & fixed_mask_;
+}
+
+bool EhEmbedding::contains(NodeId gc_node) const noexcept {
+  return (gc_node & fixed_mask_) == fixed_bits_;
+}
+
+NodeId EhEmbedding::to_eh(NodeId gc_node) const {
+  GCUBE_REQUIRE(contains(gc_node), "node outside this crossing structure");
+  NodeId a = 0;
+  for (std::size_t i = 0; i < a_dims_.size(); ++i) {
+    a |= bit(gc_node, a_dims_[i]) << i;
+  }
+  NodeId b = 0;
+  for (std::size_t i = 0; i < b_dims_.size(); ++i) {
+    b |= bit(gc_node, b_dims_[i]) << i;
+  }
+  const std::uint32_t c = bit(gc_node, cross_dim_) == bit(q_, cross_dim_);
+  return eh_.make_node(a, b, c);
+}
+
+NodeId EhEmbedding::from_eh(NodeId eh_node) const {
+  NodeId out = fixed_bits_;
+  const NodeId a = eh_.a_part(eh_node);
+  for (std::size_t i = 0; i < a_dims_.size(); ++i) {
+    out = set_bit(out, a_dims_[i], bit(a, static_cast<Dim>(i)));
+  }
+  const NodeId b = eh_.b_part(eh_node);
+  for (std::size_t i = 0; i < b_dims_.size(); ++i) {
+    out = set_bit(out, b_dims_[i], bit(b, static_cast<Dim>(i)));
+  }
+  const NodeId cls = eh_.c_bit(eh_node) == 1 ? q_ : p_;
+  return set_bit(out, cross_dim_, bit(cls, cross_dim_));
+}
+
+Dim EhEmbedding::to_gc_dim(Dim eh_dim) const {
+  if (eh_dim == 0) return cross_dim_;
+  const Dim t = eh_.t();
+  if (eh_dim <= t) return b_dims_[eh_dim - 1];
+  return a_dims_[eh_dim - t - 1];
+}
+
+}  // namespace gcube

@@ -1,0 +1,78 @@
+#include "routing/ffgcr.hpp"
+
+#include "routing/tree_routing.hpp"
+#include "util/error.hpp"
+
+namespace gcube {
+
+GcRoutePlan make_gc_route_plan(const GaussianCube& gc,
+                               const GaussianTree& tree, NodeId s, NodeId d) {
+  GCUBE_REQUIRE(s < gc.node_count() && d < gc.node_count(),
+                "node out of range");
+  GcRoutePlan plan;
+  const Dim alpha = gc.alpha();
+  NodeId high_diff = (s ^ d) & ~low_mask(alpha);
+  while (high_diff != 0) {
+    const Dim c = lsb_index(high_diff);
+    high_diff &= high_diff - 1;
+    plan.pending_high[c & low_mask(alpha)] |= NodeId{1} << c;
+  }
+  std::vector<NodeId> targets;
+  targets.reserve(plan.pending_high.size());
+  for (const auto& [k, mask] : plan.pending_high) targets.push_back(k);
+  plan.class_walk = plan_tree_walk(tree, gc.ending_class(s),
+                                   gc.ending_class(d), targets);
+  return plan;
+}
+
+FfgcrRouter::FfgcrRouter(const GaussianCube& gc)
+    : gc_(gc), tree_(gc.alpha()) {}
+
+RoutingResult FfgcrRouter::plan(NodeId s, NodeId d) const {
+  GcRoutePlan itinerary = make_gc_route_plan(gc_, tree_, s, d);
+  Route route(s);
+  NodeId cur = s;
+  auto fix_high_bits = [&](NodeId cls) {
+    const auto it = itinerary.pending_high.find(cls);
+    if (it == itinerary.pending_high.end()) return;
+    NodeId mask = it->second;
+    while (mask != 0) {
+      const Dim c = lsb_index(mask);
+      mask &= mask - 1;
+      route.append(c);
+      cur = flip_bit(cur, c);
+    }
+    itinerary.pending_high.erase(it);
+  };
+
+  fix_high_bits(itinerary.class_walk.front());
+  for (std::size_t i = 1; i < itinerary.class_walk.size(); ++i) {
+    // One cube hop realizes the tree edge: the dimension (< alpha) in which
+    // the adjacent classes differ, present at every node of either class.
+    const Dim c =
+        lsb_index(itinerary.class_walk[i - 1] ^ itinerary.class_walk[i]);
+    route.append(c);
+    cur = flip_bit(cur, c);
+    fix_high_bits(itinerary.class_walk[i]);
+  }
+  GCUBE_REQUIRE(cur == d, "FFGCR route must terminate at the destination");
+  RoutingResult result;
+  result.route = std::move(route);
+  return result;
+}
+
+std::size_t FfgcrRouter::optimal_length(NodeId s, NodeId d) const {
+  const GcRoutePlan itinerary = make_gc_route_plan(gc_, tree_, s, d);
+  const NodeId cs = gc_.ending_class(s);
+  const NodeId cd = gc_.ending_class(d);
+  std::vector<NodeId> terminals{cs, cd};
+  Dim high_flips = 0;
+  for (const auto& [k, mask] : itinerary.pending_high) {
+    terminals.push_back(k);
+    high_flips += popcount(mask);
+  }
+  const std::size_t steiner = steiner_edge_count(tree_, terminals);
+  return 2 * steiner - tree_.distance(cs, cd) + high_flips;
+}
+
+}  // namespace gcube

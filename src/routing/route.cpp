@@ -1,0 +1,65 @@
+#include "routing/route.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace gcube {
+
+void Route::append(const Route& tail) {
+  hops_.insert(hops_.end(), tail.hops_.begin(), tail.hops_.end());
+}
+
+NodeId Route::destination() const noexcept {
+  NodeId u = src_;
+  for (const Dim c : hops_) u = flip_bit(u, c);
+  return u;
+}
+
+std::vector<NodeId> Route::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(hops_.size() + 1);
+  NodeId u = src_;
+  out.push_back(u);
+  for (const Dim c : hops_) {
+    u = flip_bit(u, c);
+    out.push_back(u);
+  }
+  return out;
+}
+
+bool Route::is_simple() const {
+  std::unordered_set<NodeId> seen;
+  for (const NodeId u : nodes()) {
+    if (!seen.insert(u).second) return false;
+  }
+  return true;
+}
+
+RouteCheck validate_route(const Topology& topo, const FaultSet& faults,
+                          const Route& route) {
+  auto fail = [](std::string why) { return RouteCheck{false, std::move(why)}; };
+  NodeId u = route.source();
+  if (u >= topo.node_count()) return fail("source out of range");
+  if (faults.node_faulty(u)) return fail("source node is faulty");
+  std::size_t i = 0;
+  for (const Dim c : route.hops()) {
+    std::ostringstream at;
+    at << "hop " << i << " (dim " << c << " at node " << u << ")";
+    if (c >= topo.dims()) return fail(at.str() + ": dimension out of range");
+    if (!topo.has_link(u, c)) {
+      return fail(at.str() + ": no such link in " + topo.name());
+    }
+    if (!faults.link_usable(u, c)) {
+      return fail(at.str() + ": link unusable under fault set");
+    }
+    u = flip_bit(u, c);
+    ++i;
+  }
+  return {};
+}
+
+RouteCheck validate_route(const Topology& topo, const Route& route) {
+  return validate_route(topo, FaultSet{}, route);
+}
+
+}  // namespace gcube

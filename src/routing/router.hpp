@@ -1,0 +1,29 @@
+// Router interface: source-route planners.
+//
+// Planners produce complete Routes. This matches the paper's execution
+// model: the tree itinerary is computed at the source (O(n) message
+// overhead), while fault handling uses only information the paper assumes
+// locally available (incident link status plus fault data for same-class
+// nodes); the simulator then executes routes hop by hop under queueing.
+#pragma once
+
+#include <string>
+
+#include "routing/route.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Plans a route from s to d. A planner may fail (RoutingResult::route
+  /// empty) when fault preconditions are violated; it must never return an
+  /// invalid route.
+  [[nodiscard]] virtual RoutingResult plan(NodeId s, NodeId d) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace gcube

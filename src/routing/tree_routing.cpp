@@ -1,0 +1,178 @@
+#include "routing/tree_routing.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+namespace {
+
+/// The Steiner subtree of a terminal set: adjacency of the union of paths
+/// from a root terminal to every other terminal.
+class SteinerSubtree {
+ public:
+  SteinerSubtree(const GaussianTree& tree, NodeId root,
+                 const std::vector<NodeId>& others)
+      : root_(root) {
+    adj_[root];  // ensure the root exists even with no other terminals
+    for (const NodeId t : others) {
+      const auto path = tree.path(root, t);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        add_edge(path[i], path[i + 1]);
+      }
+    }
+  }
+
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId u) const {
+    static const std::vector<NodeId> kEmpty;
+    const auto it = adj_.find(u);
+    return it == adj_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  void add_edge(NodeId u, NodeId v) {
+    auto& au = adj_[u];
+    if (std::find(au.begin(), au.end(), v) != au.end()) return;
+    au.push_back(v);
+    adj_[v].push_back(u);
+    ++edges_;
+  }
+
+  NodeId root_;
+  std::unordered_map<NodeId, std::vector<NodeId>> adj_;
+  std::size_t edges_ = 0;
+};
+
+/// Euler-style walk over a Steiner subtree rooted at s, arranged to end at
+/// `d` (which must be a subtree node): every subtree edge off the s-d path
+/// is walked twice, s-d path edges once. Detours are taken *before*
+/// continuing toward d — exactly the paper's "never backtrack to the parent
+/// while a destination remains in the subtree" principle.
+std::vector<NodeId> euler_walk_to(const SteinerSubtree& st, NodeId s,
+                                  NodeId d, const GaussianTree& tree) {
+  // Mark the spine: nodes on the s-d path.
+  std::unordered_set<NodeId> spine;
+  for (const NodeId u : tree.path(s, d)) spine.insert(u);
+
+  std::vector<NodeId> walk;
+  // Iterative DFS holding (node, parent); emits on first visit and on each
+  // return to a node after a detour.
+  struct Frame {
+    NodeId node;
+    NodeId parent;
+    std::vector<NodeId> pending;  // children yet to visit, spine child last
+    bool has_parent;
+  };
+  std::vector<Frame> stack;
+  auto make_frame = [&](NodeId u, NodeId parent, bool has_parent) {
+    Frame f{u, parent, {}, has_parent};
+    NodeId spine_child = u;  // sentinel: none
+    for (const NodeId v : st.neighbors(u)) {
+      if (has_parent && v == parent) continue;
+      if (spine.contains(v) && spine.contains(u)) {
+        // At most one neighbor continues along the spine toward d.
+        // (u may have several spine neighbors only if u itself is off the
+        // spine, which cannot happen here.)
+        if (spine_child == u) {
+          spine_child = v;
+          continue;
+        }
+      }
+      f.pending.push_back(v);
+    }
+    // Detours first; the spine continuation (if any) goes last.
+    std::reverse(f.pending.begin(), f.pending.end());  // pop_back order
+    if (spine_child != u) f.pending.insert(f.pending.begin(), spine_child);
+    return f;
+  };
+
+  stack.push_back(make_frame(s, s, false));
+  walk.push_back(s);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.pending.empty()) {
+      stack.pop_back();
+      if (!stack.empty()) walk.push_back(stack.back().node);
+      continue;
+    }
+    const NodeId next = top.pending.back();
+    top.pending.pop_back();
+    walk.push_back(next);
+    stack.push_back(make_frame(next, top.node, true));
+  }
+  // The DFS return-phase appends the path back to s; trim the tail so the
+  // walk ends at the last visit of d.
+  while (!walk.empty() && walk.back() != d) walk.pop_back();
+  GCUBE_REQUIRE(!walk.empty(), "walk must reach the destination");
+  return walk;
+}
+
+}  // namespace
+
+NodeId find_branch_point(const GaussianTree& tree,
+                         const std::vector<NodeId>& path, NodeId d) {
+  GCUBE_REQUIRE(!path.empty(), "FindBP requires a non-empty path");
+  GCUBE_REQUIRE(d < tree.node_count(), "FindBP target out of range");
+  std::unordered_set<NodeId> on_path(path.begin(), path.end());
+  GCUBE_REQUIRE(!on_path.contains(d), "FindBP target must lie off the path");
+  NodeId r = path.front();
+  // Paper FindBP, iteratively: locate the crossing edge of path(r, d) in the
+  // highest differing dimension and test which of its endpoints lie on L.
+  while (true) {
+    const NodeId diff = r ^ d;
+    GCUBE_REQUIRE(diff != 0, "target unexpectedly reached");
+    const Dim c = msb_index(diff);
+    if (c == 0) return r;  // d is a dimension-0 neighbor: branch at r
+    const NodeId v1 = (r & ~low_mask(c)) | c;
+    const NodeId v2 = flip_bit(v1, c);
+    const bool in1 = on_path.contains(v1);
+    const bool in2 = on_path.contains(v2);
+    if (in1 && !in2) return v1;
+    if (in1 && in2) {
+      r = v2;  // branch lies beyond the crossing: recurse from v2
+    } else {
+      GCUBE_REQUIRE(!in2, "v2 on path implies v1 on path in a tree");
+      d = v1;  // branch lies before the crossing: recurse toward v1
+    }
+  }
+}
+
+std::map<NodeId, std::vector<NodeId>> build_branch_table(
+    const GaussianTree& tree, const std::vector<NodeId>& path,
+    const std::vector<NodeId>& targets) {
+  std::unordered_set<NodeId> on_path(path.begin(), path.end());
+  std::map<NodeId, std::vector<NodeId>> table;
+  for (const NodeId t : targets) {
+    if (on_path.contains(t)) continue;
+    table[find_branch_point(tree, path, t)].push_back(t);
+  }
+  return table;
+}
+
+std::vector<NodeId> closed_traverse(const GaussianTree& tree, NodeId r,
+                                    const std::vector<NodeId>& targets) {
+  return plan_tree_walk(tree, r, r, targets);
+}
+
+std::vector<NodeId> plan_tree_walk(const GaussianTree& tree, NodeId s,
+                                   NodeId d,
+                                   const std::vector<NodeId>& targets) {
+  std::vector<NodeId> terminals = targets;
+  terminals.push_back(d);
+  const SteinerSubtree st(tree, s, terminals);
+  return euler_walk_to(st, s, d, tree);
+}
+
+std::size_t steiner_edge_count(const GaussianTree& tree,
+                               const std::vector<NodeId>& terminals) {
+  GCUBE_REQUIRE(!terminals.empty(), "need at least one terminal");
+  const std::vector<NodeId> others(terminals.begin() + 1, terminals.end());
+  return SteinerSubtree(tree, terminals.front(), others).edge_count();
+}
+
+}  // namespace gcube

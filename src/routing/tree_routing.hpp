@@ -1,0 +1,58 @@
+// Tree-level routing on the Gaussian Tree (paper §4, Algorithms 1-2).
+//
+// The GC routing strategy reduces inter-class movement to walking T_alpha:
+// from the source's class to the destination's class, detouring to visit
+// every class in which a high-dimension bit must be fixed. Components:
+//
+//  * find_branch_point — the paper's FindBP: given the main path L and an
+//    off-path target d, the node of L where the detour to d branches off,
+//    computed without materializing the path to d;
+//  * build_branch_table — the paper's B(·) table: branch node -> targets;
+//  * closed_traverse   — the paper's CT: an optimal closed walk from r
+//    visiting a target set and returning to r;
+//  * plan_tree_walk    — the complete inter-class itinerary: an optimal open
+//    walk from s to d covering a target set (every edge off the s-d path is
+//    walked exactly twice, every s-d path edge exactly once).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topology/gaussian_tree.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+/// Paper FindBP. `path` must be a tree path starting at the recursion root r
+/// (path.front()); `d` must NOT lie on `path`. Returns the node of `path`
+/// where the unique tree path from path.front() to d leaves `path`.
+[[nodiscard]] NodeId find_branch_point(const GaussianTree& tree,
+                                       const std::vector<NodeId>& path,
+                                       NodeId d);
+
+/// The paper's B(·) table for main path L: for every target not on L, the
+/// branch node of L it detours from. Targets already on L are omitted.
+[[nodiscard]] std::map<NodeId, std::vector<NodeId>> build_branch_table(
+    const GaussianTree& tree, const std::vector<NodeId>& path,
+    const std::vector<NodeId>& targets);
+
+/// Paper Algorithm 2 (CT): a minimum-length closed walk from r that visits
+/// every node in `targets` and returns to r. Length == 2 * (edges of the
+/// Steiner tree of {r} ∪ targets).
+[[nodiscard]] std::vector<NodeId> closed_traverse(
+    const GaussianTree& tree, NodeId r, const std::vector<NodeId>& targets);
+
+/// A minimum-length open walk from s to d visiting every node in `targets`.
+/// Length == 2 * steiner_edges({s, d} ∪ targets) − dist(s, d). Consecutive
+/// walk entries are always tree neighbors; the walk starts at s and ends at
+/// d (size 1 when everything coincides).
+[[nodiscard]] std::vector<NodeId> plan_tree_walk(
+    const GaussianTree& tree, NodeId s, NodeId d,
+    const std::vector<NodeId>& targets);
+
+/// Number of edges of the Steiner tree spanning `terminals` (the union of
+/// pairwise tree paths). Used by tests to certify walk optimality.
+[[nodiscard]] std::size_t steiner_edge_count(
+    const GaussianTree& tree, const std::vector<NodeId>& terminals);
+
+}  // namespace gcube

@@ -1,0 +1,36 @@
+#include "sim/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace gcube {
+
+void LatencyHistogram::record(Cycle latency) noexcept {
+  const std::size_t bucket =
+      latency < 2 ? 0
+                  : std::min<std::size_t>(kBuckets - 1,
+                                          std::bit_width(latency) - 1);
+  ++counts_[bucket];
+  ++total_;
+}
+
+Cycle LatencyHistogram::percentile(double q) const {
+  if (total_ == 0) return 0;
+  const auto threshold = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= threshold) {
+      return (Cycle{1} << (i + 1)) - 1;  // upper edge of bucket i
+    }
+  }
+  return ~Cycle{0};
+}
+
+double SimMetrics::log2_throughput() const {
+  const double t = throughput();
+  return t <= 0.0 ? 0.0 : std::log2(t);
+}
+
+}  // namespace gcube

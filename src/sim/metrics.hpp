@@ -1,0 +1,78 @@
+// Simulation metrics (paper §6).
+//
+// Average latency = LP / DP: total latency of delivered packets over their
+// count. Throughput = DP / PT, delivered packets per unit of processing
+// time; we take PT to be the elapsed measurement cycles — node processing
+// is parallel, so elapsed time is what "total processing time" scales with
+// network-wide — and report log2 of it as in the paper's Figures 6 and 8.
+// Absolute values are in cycles (the paper's µs scale was hardware
+// specific); EXPERIMENTS.md compares shapes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/packet.hpp"
+
+namespace gcube {
+
+/// Power-of-two-bucketed latency histogram: bucket i counts deliveries with
+/// latency in [2^i, 2^(i+1)) cycles (bucket 0 covers 0 and 1). Compact,
+/// O(1) updates, and good enough for percentile estimates across the four
+/// decades a simulation can span.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(Cycle latency) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
+
+  /// Latency below which fraction q of deliveries fall (upper bucket edge;
+  /// q in [0, 1]). Returns 0 when empty.
+  [[nodiscard]] Cycle percentile(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+struct SimMetrics {
+  Cycle measured_cycles = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;       // DP
+  std::uint64_t dropped = 0;         // planner failures (should stay 0)
+  std::uint64_t total_latency = 0;   // LP, cycles
+  std::uint64_t total_hops = 0;      // over delivered packets
+  std::uint64_t service_ops = 0;     // per-node packet handling operations
+  std::uint64_t peak_in_flight = 0;
+  std::uint64_t injections_blocked = 0;  // finite buffers: source was full
+  std::uint64_t stalled_cycles = 0;  // cycles with traffic but no movement
+  bool deadlocked = false;           // sustained global stall detected
+  LatencyHistogram latency_histogram;
+
+  [[nodiscard]] double avg_latency() const {
+    return delivered == 0
+               ? 0.0
+               : static_cast<double>(total_latency) /
+                     static_cast<double>(delivered);
+  }
+  [[nodiscard]] double avg_hops() const {
+    return delivered == 0
+               ? 0.0
+               : static_cast<double>(total_hops) /
+                     static_cast<double>(delivered);
+  }
+  /// DP / PT with PT = measured cycles (packets per cycle).
+  [[nodiscard]] double throughput() const {
+    return measured_cycles == 0
+               ? 0.0
+               : static_cast<double>(delivered) /
+                     static_cast<double>(measured_cycles);
+  }
+  [[nodiscard]] double log2_throughput() const;
+};
+
+}  // namespace gcube

@@ -1,0 +1,146 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+NetworkSim::NetworkSim(const Topology& topo, const Router& router,
+                       const FaultSet& faults, const SimConfig& config)
+    : topo_(topo),
+      router_(router),
+      faults_(faults),
+      config_(config),
+      default_traffic_(topo.node_count(), config.injection_rate, faults,
+                       config.seed),
+      traffic_(default_traffic_),
+      rng_(config.seed),
+      queues_(topo.node_count()),
+      staged_(topo.node_count()),
+      link_busy_(topo.node_count() * topo.dims(), 0) {
+  GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
+  GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
+}
+
+NetworkSim::NetworkSim(const Topology& topo, const Router& router,
+                       const FaultSet& faults, const SimConfig& config,
+                       const TrafficModel& traffic)
+    : topo_(topo),
+      router_(router),
+      faults_(faults),
+      config_(config),
+      default_traffic_(topo.node_count(), config.injection_rate, faults,
+                       config.seed),
+      traffic_(traffic),
+      rng_(config.seed),
+      queues_(topo.node_count()),
+      staged_(topo.node_count()),
+      link_busy_(topo.node_count() * topo.dims(), 0) {
+  GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
+  GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
+}
+
+void NetworkSim::inject(Cycle now, bool measuring) {
+  const std::uint64_t nodes = topo_.node_count();
+  for (std::uint64_t u64 = 0; u64 < nodes; ++u64) {
+    const auto u = static_cast<NodeId>(u64);
+    if (!traffic_.eligible(u) || !traffic_.should_inject(u, rng_)) continue;
+    if (config_.buffer_limit != 0 && occupancy(u) >= config_.buffer_limit) {
+      if (measuring) ++metrics_.injections_blocked;
+      continue;
+    }
+    const NodeId dst = traffic_.pick_destination(u, rng_);
+    if (measuring) ++metrics_.generated;
+    RoutingResult planned = router_.plan(u, dst);
+    if (!planned.delivered()) {
+      if (measuring) ++metrics_.dropped;
+      continue;
+    }
+    Packet p;
+    p.id = next_packet_id_++;
+    p.src = u;
+    p.dst = dst;
+    p.created = now;
+    p.hops = planned.route->hops();
+    queues_[u].push_back(std::move(p));
+    ++in_flight_;
+    metrics_.peak_in_flight = std::max(metrics_.peak_in_flight, in_flight_);
+  }
+}
+
+bool NetworkSim::forward(Cycle now, bool measuring) {
+  const std::uint64_t nodes = topo_.node_count();
+  const Dim n = topo_.dims();
+  bool moved = false;
+  // Epoch-stamped link reservations: a directed link is free this cycle if
+  // its stamp is older than now + 1 (stamps store now + 1 to keep 0 free).
+  for (std::uint64_t u64 = 0; u64 < nodes; ++u64) {
+    const auto u = static_cast<NodeId>(u64);
+    auto& queue = queues_[u];
+    for (std::uint32_t served = 0;
+         served < config_.service_rate && !queue.empty(); ++served) {
+      Packet& p = queue.front();
+      if (p.at_destination()) {
+        if (measuring) {
+          ++metrics_.delivered;
+          metrics_.total_latency += now - p.created;
+          metrics_.total_hops += p.hops.size();
+          metrics_.latency_histogram.record(now - p.created);
+          ++metrics_.service_ops;
+        }
+        --in_flight_;
+        queue.pop_front();
+        moved = true;
+        continue;
+      }
+      const Dim c = p.hops[p.next_hop];
+      auto& stamp = link_busy_[u64 * n + c];
+      if (stamp == now + 1) break;  // link busy: head-of-line blocking
+      const NodeId v = flip_bit(u, c);
+      if (config_.buffer_limit != 0 &&
+          occupancy(v) >= config_.buffer_limit) {
+        break;  // backpressure: downstream buffer full
+      }
+      stamp = now + 1;
+      if (measuring) ++metrics_.service_ops;
+      ++p.next_hop;
+      staged_[v].push_back(std::move(p));
+      queue.pop_front();
+      moved = true;
+    }
+  }
+  for (std::uint64_t u = 0; u < nodes; ++u) {
+    auto& incoming = staged_[u];
+    for (auto& p : incoming) queues_[u].push_back(std::move(p));
+    incoming.clear();
+  }
+  return moved;
+}
+
+SimMetrics NetworkSim::run() {
+  metrics_ = SimMetrics{};
+  metrics_.measured_cycles = config_.measure_cycles;
+  const Cycle total = config_.warmup_cycles + config_.measure_cycles;
+  // With finite buffers a sustained global stall (packets in flight, none
+  // moving) is a deadlock: declared after this many consecutive cycles.
+  constexpr Cycle kDeadlockThreshold = 200;
+  Cycle consecutive_stalls = 0;
+  for (Cycle now = 0; now < total; ++now) {
+    const bool measuring = now >= config_.warmup_cycles;
+    inject(now, measuring);
+    const bool moved = forward(now, measuring);
+    if (!moved && in_flight_ > 0) {
+      if (measuring) ++metrics_.stalled_cycles;
+      if (++consecutive_stalls >= kDeadlockThreshold) {
+        metrics_.deadlocked = true;
+        break;
+      }
+    } else {
+      consecutive_stalls = 0;
+    }
+  }
+  return metrics_;
+}
+
+}  // namespace gcube

@@ -1,0 +1,83 @@
+// Cycle-driven network simulator (paper §6 substrate).
+//
+// Model, matching the paper's stated assumptions:
+//  * store-and-forward, unit link bandwidth: each directed link carries at
+//    most one packet per cycle;
+//  * eager readership: each node can serve several packets per cycle
+//    (service_rate > expected arrivals), so service outpaces arrival;
+//  * source routing: a packet carries its dimension sequence, planned by
+//    the Router at injection (faults are static for a run);
+//  * FIFO input queue per node with head-of-line blocking on a busy link;
+//  * faulty nodes neither inject nor forward, and routes avoid them.
+//
+// Determinism: one seeded RNG drives injection and destination choice;
+// nodes are processed in ascending order; identical seeds give identical
+// metrics.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "routing/router.hpp"
+#include "sim/metrics.hpp"
+#include "sim/packet.hpp"
+#include "sim/traffic.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+
+struct SimConfig {
+  double injection_rate = 0.02;  // packets per node per cycle
+  Cycle warmup_cycles = 300;
+  Cycle measure_cycles = 2000;
+  std::uint32_t service_rate = 4;  // packets a node may handle per cycle
+  std::uint64_t seed = 42;
+  /// Per-node input buffer capacity; 0 = unbounded (the paper's eager-
+  /// readership model). With finite buffers a packet only moves when the
+  /// downstream node has space (backpressure), injection is blocked at a
+  /// full source, and sustained global stalls are reported as deadlock —
+  /// the regime where channel-dependency cycles (routing/deadlock.hpp)
+  /// become observable.
+  std::uint32_t buffer_limit = 0;
+};
+
+class NetworkSim {
+ public:
+  /// All references must outlive the simulator. The default-constructed
+  /// form uses the paper's uniform random traffic at
+  /// config.injection_rate; pass a TrafficModel to change the workload.
+  NetworkSim(const Topology& topo, const Router& router,
+             const FaultSet& faults, const SimConfig& config);
+  NetworkSim(const Topology& topo, const Router& router,
+             const FaultSet& faults, const SimConfig& config,
+             const TrafficModel& traffic);
+
+  /// Runs warmup + measurement and returns the measurement-window metrics.
+  [[nodiscard]] SimMetrics run();
+
+ private:
+  void inject(Cycle now, bool measuring);
+  /// Returns true iff any packet moved or was delivered this cycle.
+  bool forward(Cycle now, bool measuring);
+  [[nodiscard]] std::size_t occupancy(NodeId u) const {
+    return queues_[u].size() + staged_[u].size();
+  }
+
+  const Topology& topo_;
+  const Router& router_;
+  const FaultSet& faults_;
+  SimConfig config_;
+  UniformTraffic default_traffic_;   // used when no model is supplied
+  const TrafficModel& traffic_;
+  Xoshiro256 rng_;
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<std::vector<Packet>> staged_;  // arrivals visible next cycle
+  std::vector<Cycle> link_busy_;  // directed link reservation stamps
+  SimMetrics metrics_;
+  std::uint64_t next_packet_id_ = 0;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace gcube

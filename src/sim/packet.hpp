@@ -1,0 +1,28 @@
+// Packet representation for the network simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace gcube {
+
+using Cycle = std::uint64_t;
+
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  Cycle created = 0;
+  /// Source route: dimensions to cross, planned at injection (the paper's
+  /// O(n) header).
+  std::vector<Dim> hops;
+  std::uint32_t next_hop = 0;  // index into hops
+
+  [[nodiscard]] bool at_destination() const noexcept {
+    return next_hop == hops.size();
+  }
+};
+
+}  // namespace gcube

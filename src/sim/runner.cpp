@@ -1,0 +1,59 @@
+#include "sim/runner.hpp"
+
+#include <memory>
+
+#include "fault/fault_set.hpp"
+#include "fault/preconditions.hpp"
+#include "routing/ffgcr.hpp"
+#include "routing/ftgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+
+namespace {
+
+/// Draws `count` distinct faulty nodes such that the FTGCR precondition
+/// still holds (the paper's simulations place faults the strategy is
+/// guaranteed to tolerate).
+FaultSet draw_fault_pattern(const GaussianCube& gc, std::size_t count,
+                            std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    FaultSet faults;
+    while (faults.node_fault_count() < count) {
+      faults.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+    }
+    if (check_ftgcr_precondition(gc, faults)) return faults;
+  }
+  GCUBE_REQUIRE(false, "could not place a tolerable fault pattern in " +
+                           gc.name());
+  return {};
+}
+
+}  // namespace
+
+GcSimOutcome run_gc_simulation(const GcSimSpec& spec) {
+  const GaussianCube gc(spec.n, spec.modulus);
+  FaultSet faults;
+  if (spec.faulty_nodes > 0) {
+    faults = draw_fault_pattern(gc, spec.faulty_nodes, spec.fault_seed);
+  }
+  std::unique_ptr<Router> router;
+  if (faults.empty()) {
+    router = std::make_unique<FfgcrRouter>(gc);
+  } else {
+    router = std::make_unique<FtgcrRouter>(gc, faults);
+  }
+  const PatternTraffic traffic(spec.n, spec.sim.injection_rate, faults,
+                               spec.sim.seed, spec.pattern, spec.hot_node,
+                               spec.hotspot_fraction);
+  NetworkSim sim(gc, *router, faults, spec.sim, traffic);
+  GcSimOutcome outcome;
+  outcome.metrics = sim.run();
+  outcome.faults_injected = faults.node_fault_count();
+  return outcome;
+}
+
+}  // namespace gcube

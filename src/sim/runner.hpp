@@ -1,0 +1,36 @@
+// High-level experiment runner: builds a Gaussian Cube, injects a fault
+// pattern that satisfies the FTGCR precondition, picks the matching router
+// (FFGCR when fault-free, FTGCR otherwise), runs the simulator, and returns
+// the metrics. One call is one cell of a paper figure.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+struct GcSimSpec {
+  Dim n = 8;
+  std::uint64_t modulus = 2;
+  std::size_t faulty_nodes = 0;  // randomly placed, precondition-checked
+  std::uint64_t fault_seed = 7;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  NodeId hot_node = 0;           // kHotspot only
+  double hotspot_fraction = 0.2;  // kHotspot only
+  SimConfig sim;
+};
+
+struct GcSimOutcome {
+  SimMetrics metrics;
+  std::size_t faults_injected = 0;
+};
+
+/// Runs one simulation cell. Throws if a precondition-satisfying fault
+/// pattern of the requested size cannot be found.
+[[nodiscard]] GcSimOutcome run_gc_simulation(const GcSimSpec& spec);
+
+}  // namespace gcube

@@ -1,0 +1,23 @@
+// Parallel parameter sweeps.
+//
+// Benchmark harnesses run one simulation per figure cell; cells are
+// independent, so they fan out across hardware threads (hpc-parallel
+// idiom: parallelize the outer, embarrassingly parallel loop; keep each
+// cell single-threaded and deterministic). Results are written by index,
+// so output order is deterministic regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gcube {
+
+/// Invokes fn(0) .. fn(count - 1) across up to `max_threads` worker threads
+/// (0 = hardware concurrency). fn must be safe to call concurrently for
+/// distinct indices. Exceptions thrown by fn are rethrown on the caller's
+/// thread after all workers finish.
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& fn,
+                        unsigned max_threads = 0);
+
+}  // namespace gcube

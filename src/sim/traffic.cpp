@@ -1,0 +1,88 @@
+#include "sim/traffic.hpp"
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+UniformTraffic::UniformTraffic(std::uint64_t node_count, double rate,
+                               const FaultSet& faults, std::uint64_t seed)
+    : node_count_(node_count), rate_(rate), faults_(faults), seed_(seed) {
+  GCUBE_REQUIRE(node_count >= 2, "need at least two nodes for traffic");
+  GCUBE_REQUIRE(rate >= 0.0 && rate <= 1.0, "rate must be a probability");
+  GCUBE_REQUIRE(faults.node_fault_count() + 1 < node_count,
+                "not enough nonfaulty nodes for traffic");
+}
+
+NodeId UniformTraffic::pick_destination(NodeId src, Xoshiro256& rng) const {
+  while (true) {
+    const auto d = static_cast<NodeId>(rng.below(node_count_));
+    if (d != src && !faults_.node_faulty(d)) return d;
+  }
+}
+
+bool UniformTraffic::eligible(NodeId u) const {
+  return !faults_.node_faulty(u);
+}
+
+PatternTraffic::PatternTraffic(Dim n, double rate, const FaultSet& faults,
+                               std::uint64_t seed, TrafficPattern pattern,
+                               NodeId hot_node, double hotspot_fraction)
+    : UniformTraffic(pow2(n), rate, faults, seed),
+      n_(n),
+      pattern_(pattern),
+      hot_node_(hot_node),
+      hotspot_fraction_(hotspot_fraction) {
+  GCUBE_REQUIRE(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0,
+                "hotspot fraction must be a probability");
+  GCUBE_REQUIRE(hot_node < pow2(n), "hot node out of range");
+}
+
+NodeId PatternTraffic::pick_destination(NodeId src, Xoshiro256& rng) const {
+  NodeId dest = src;
+  switch (pattern_) {
+    case TrafficPattern::kUniform:
+      return UniformTraffic::pick_destination(src, rng);
+    case TrafficPattern::kBitComplement:
+      dest = low_bits(~src, n_);
+      break;
+    case TrafficPattern::kBitReversal: {
+      dest = 0;
+      for (Dim i = 0; i < n_; ++i) {
+        dest |= bit(src, i) << (n_ - 1 - i);
+      }
+      break;
+    }
+    case TrafficPattern::kTranspose: {
+      const Dim half = n_ / 2;
+      dest = low_bits((src >> half) | (src << (n_ - half)), n_);
+      break;
+    }
+    case TrafficPattern::kHotspot:
+      dest = rng.chance(hotspot_fraction_)
+                 ? hot_node_
+                 : UniformTraffic::pick_destination(src, rng);
+      break;
+  }
+  if (dest == src || faults_.node_faulty(dest)) {
+    return UniformTraffic::pick_destination(src, rng);
+  }
+  return dest;
+}
+
+const char* to_string(TrafficPattern pattern) noexcept {
+  switch (pattern) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kBitComplement:
+      return "bit-complement";
+    case TrafficPattern::kBitReversal:
+      return "bit-reversal";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+}  // namespace gcube

@@ -1,0 +1,91 @@
+// Traffic generation.
+//
+// The paper's workload is uniform random traffic: every nonfaulty node
+// independently injects packets destined to uniformly random nonfaulty
+// other nodes; eager readership means service outpaces arrival, so offered
+// load is set by the per-node injection rate. Additional classical patterns
+// (bit complement, bit reversal, transpose, hotspot) are provided for the
+// extension benchmarks — they stress the diluted links of a Gaussian Cube
+// very differently from uniform traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_set.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+
+/// Injection + destination model consumed by the simulator.
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  /// Should node u inject a packet this cycle?
+  [[nodiscard]] virtual bool should_inject(NodeId u, Xoshiro256& rng) const = 0;
+
+  /// A nonfaulty destination different from src.
+  [[nodiscard]] virtual NodeId pick_destination(NodeId src,
+                                                Xoshiro256& rng) const = 0;
+
+  /// True iff u may act as a source or destination.
+  [[nodiscard]] virtual bool eligible(NodeId u) const = 0;
+};
+
+class UniformTraffic : public TrafficModel {
+ public:
+  /// `rate` = per-node injection probability per cycle (0..1).
+  UniformTraffic(std::uint64_t node_count, double rate,
+                 const FaultSet& faults, std::uint64_t seed);
+
+  [[nodiscard]] bool should_inject(NodeId, Xoshiro256& rng) const override {
+    return rng.chance(rate_);
+  }
+  [[nodiscard]] NodeId pick_destination(NodeId src,
+                                        Xoshiro256& rng) const override;
+  [[nodiscard]] bool eligible(NodeId u) const override;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ protected:
+  std::uint64_t node_count_;
+  double rate_;
+  const FaultSet& faults_;
+  std::uint64_t seed_;
+};
+
+/// Classical deterministic-destination patterns. When the pattern maps a
+/// source onto itself or onto a faulty node, the packet falls back to a
+/// uniform destination so offered load stays comparable across patterns.
+enum class TrafficPattern {
+  kUniform,
+  kBitComplement,  // dest = ~src
+  kBitReversal,    // dest = reverse of src's n bits
+  kTranspose,      // dest = src rotated by n/2 bits
+  kHotspot,        // a fixed fraction of traffic goes to one hot node
+};
+
+class PatternTraffic final : public UniformTraffic {
+ public:
+  /// `n` = label width; `hotspot_fraction` only applies to kHotspot.
+  PatternTraffic(Dim n, double rate, const FaultSet& faults,
+                 std::uint64_t seed, TrafficPattern pattern,
+                 NodeId hot_node = 0, double hotspot_fraction = 0.2);
+
+  [[nodiscard]] NodeId pick_destination(NodeId src,
+                                        Xoshiro256& rng) const override;
+
+  [[nodiscard]] TrafficPattern pattern() const noexcept { return pattern_; }
+
+ private:
+  Dim n_;
+  TrafficPattern pattern_;
+  NodeId hot_node_;
+  double hotspot_fraction_;
+};
+
+[[nodiscard]] const char* to_string(TrafficPattern pattern) noexcept;
+
+}  // namespace gcube

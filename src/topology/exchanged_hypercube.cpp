@@ -1,0 +1,16 @@
+#include "topology/exchanged_hypercube.hpp"
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+ExchangedHypercube::ExchangedHypercube(Dim s, Dim t) : s_(s), t_(t) {
+  GCUBE_REQUIRE(s >= 1 && t >= 1, "EH(s,t) requires s,t >= 1");
+  GCUBE_REQUIRE(s + t + 1 <= kMaxDimension, "EH(s,t) too large");
+}
+
+std::string ExchangedHypercube::name() const {
+  return "EH(" + std::to_string(s_) + "," + std::to_string(t_) + ")";
+}
+
+}  // namespace gcube

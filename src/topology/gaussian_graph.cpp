@@ -1,0 +1,15 @@
+#include "topology/gaussian_graph.hpp"
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+GaussianGraph::GaussianGraph(Dim n) : n_(n) {
+  // n == 0 is the single-node graph (needed for GC(n, 1), whose Gaussian
+  // Tree T_0 is trivial).
+  GCUBE_REQUIRE(n <= kMaxDimension, "Gaussian graph dimension out of range");
+}
+
+std::string GaussianGraph::name() const { return "G_" + std::to_string(n_); }
+
+}  // namespace gcube

@@ -1,0 +1,33 @@
+// Gaussian Graph G_n (paper Definition 1).
+//
+// G_n has 2^n nodes with n-bit labels; node u has an edge in dimension 0
+// unconditionally, and in dimension c in [1, n-1] iff its low c bits equal
+// c (note c < 2^c, so "c mod 2^c" is c itself). The paper's Theorem 2 proves
+// G_n is a tree — it is connected (the PC algorithm constructs a path
+// between any pair) and has exactly 2^n - 1 edges. The tree-specific
+// operations live in GaussianTree; this class is the raw topology, which is
+// also exactly GC(n, M) for M >= 2^(n-1) restricted to its tree dimensions.
+#pragma once
+
+#include <string>
+
+#include "topology/topology.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+class GaussianGraph : public Topology {
+ public:
+  explicit GaussianGraph(Dim n);
+
+  [[nodiscard]] Dim dims() const noexcept override { return n_; }
+  [[nodiscard]] bool has_link(NodeId u, Dim c) const noexcept override {
+    return c == 0 || low_bits(u, c) == c;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Dim n_;
+};
+
+}  // namespace gcube

@@ -1,0 +1,112 @@
+#include "topology/gaussian_tree.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+namespace {
+
+constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+
+// BFS over the tree; returns (distances, farthest node). Distances fit in
+// uint16_t for every supported n (tree paths are short; checked below).
+std::pair<std::vector<std::uint16_t>, NodeId> bfs_farthest(
+    const GaussianTree& t, NodeId start) {
+  const std::uint64_t nodes = t.node_count();
+  std::vector<std::uint16_t> dist(nodes, kUnreached);
+  std::vector<NodeId> frontier{start};
+  dist[start] = 0;
+  NodeId farthest = start;
+  const Dim n = t.dims();
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      const auto du = dist[u];
+      for (Dim c = 0; c < n; ++c) {
+        if (!t.has_link(u, c)) continue;
+        const NodeId v = Topology::neighbor(u, c);
+        if (dist[v] != kUnreached) continue;
+        GCUBE_REQUIRE(du + 1 < kUnreached, "tree distance overflow");
+        dist[v] = static_cast<std::uint16_t>(du + 1);
+        if (dist[v] > dist[farthest]) farthest = v;
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {std::move(dist), farthest};
+}
+
+}  // namespace
+
+void GaussianTree::build_path(NodeId s, NodeId d,
+                              std::vector<NodeId>& out) const {
+  // Paper Algorithm 1 (PC), iterative on the right branch. Each step finds
+  // the unique edge of the path in the highest dimension where s and d still
+  // differ: both endpoints of a dimension-c edge (c >= 1) have low c bits
+  // equal to c and share all bits above c, so the crossing edge is fully
+  // determined by (c, shared upper bits). Unlike the paper's formulation,
+  // segments are emitted in order, so no final sort is needed.
+  while (s != d) {
+    const Dim c = msb_index(s ^ d);
+    if (c == 0) {  // s and d are dimension-0 neighbors
+      out.push_back(s);
+      return;
+    }
+    const NodeId v1 = (s & ~low_mask(c)) | c;
+    const NodeId v2 = flip_bit(v1, c);
+    build_path(s, v1, out);
+    out.push_back(v1);
+    s = v2;  // continue with the segment from v2 to d
+  }
+}
+
+std::vector<NodeId> GaussianTree::path(NodeId s, NodeId d) const {
+  GCUBE_REQUIRE(s < node_count() && d < node_count(), "node out of range");
+  std::vector<NodeId> out;
+  build_path(s, d, out);
+  out.push_back(d);
+  return out;
+}
+
+std::vector<Dim> GaussianTree::path_dims(NodeId s, NodeId d) const {
+  const auto nodes = path(s, d);
+  std::vector<Dim> out;
+  out.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    out.push_back(lsb_index(nodes[i] ^ nodes[i + 1]));
+  }
+  return out;
+}
+
+Dim GaussianTree::distance(NodeId s, NodeId d) const {
+  return static_cast<Dim>(path(s, d).size() - 1);
+}
+
+NodeId GaussianTree::parent(NodeId u) const {
+  GCUBE_REQUIRE(u != 0, "the root has no parent");
+  return path(u, 0)[1];
+}
+
+std::vector<NodeId> GaussianTree::children(NodeId u) const {
+  std::vector<NodeId> out;
+  for (NodeId v : neighbors(u)) {
+    if (v != 0 && parent(v) == u) out.push_back(v);
+  }
+  return out;
+}
+
+Dim GaussianTree::diameter() const {
+  if (node_count() == 1) return 0;
+  // Double BFS: in a tree, the farthest node from anywhere is a diameter
+  // endpoint.
+  const auto [dist0, end0] = bfs_farthest(*this, 0);
+  const auto [dist1, end1] = bfs_farthest(*this, end0);
+  return dist1[end1];
+}
+
+}  // namespace gcube

@@ -1,0 +1,59 @@
+// Gaussian Tree T_n (paper §3).
+//
+// T_n is the Gaussian Graph G_n viewed as a tree (Theorem 2). This class
+// adds the tree operations routing builds on:
+//
+//  * path(s, d)      — the paper's Path Construction algorithm (Algorithm 1):
+//                      the unique tree path, found link-by-link in O(length)
+//                      time with no search;
+//  * path_dims(s, d) — the same path as a dimension sequence;
+//  * distance(s, d)  — path length in edges;
+//  * parent/children — with the tree rooted at node 0 (node 0 is the unique
+//                      node whose only edge is in dimension 0, a natural
+//                      anchor);
+//  * diameter()      — exact, via double BFS (valid for trees).
+//
+// Within GC(n, 2^alpha), T_alpha is the quotient of the cube by the
+// "ending class" map u -> u mod 2^alpha, and each tree edge in dimension
+// c < alpha is realized by a cube link in the same dimension at *every* node
+// of either incident class — that is what makes inter-class routing in the
+// cube exactly tree routing.
+#pragma once
+
+#include <vector>
+
+#include "topology/gaussian_graph.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+class GaussianTree final : public GaussianGraph {
+ public:
+  explicit GaussianTree(Dim n) : GaussianGraph(n) {}
+
+  /// Paper Algorithm 1 (PC). Returns the unique path from s to d as a node
+  /// sequence (front() == s, back() == d; size 1 when s == d).
+  [[nodiscard]] std::vector<NodeId> path(NodeId s, NodeId d) const;
+
+  /// The same path as the sequence of dimensions crossed (size == edge
+  /// count). Dimension i is crossed between path[i] and path[i+1].
+  [[nodiscard]] std::vector<Dim> path_dims(NodeId s, NodeId d) const;
+
+  /// Tree distance in edges.
+  [[nodiscard]] Dim distance(NodeId s, NodeId d) const;
+
+  /// Parent of u in the tree rooted at 0. Precondition: u != 0.
+  [[nodiscard]] NodeId parent(NodeId u) const;
+
+  /// Children of u in the tree rooted at 0, ascending.
+  [[nodiscard]] std::vector<NodeId> children(NodeId u) const;
+
+  /// Exact diameter (maximum pairwise distance). Double-BFS; O(2^n).
+  [[nodiscard]] Dim diameter() const;
+
+ private:
+  // Appends the path from s to d, excluding d itself, to out.
+  void build_path(NodeId s, NodeId d, std::vector<NodeId>& out) const;
+};
+
+}  // namespace gcube

@@ -1,0 +1,81 @@
+// Bit-manipulation helpers shared by all topology and routing code.
+//
+// Node labels throughout the library are unsigned 32-bit integers whose low
+// `n` bits are significant (n <= kMaxDimension). All helpers are constexpr
+// and branch-light; they are on the per-hop hot path of the simulator.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace gcube {
+
+using NodeId = std::uint32_t;
+using Dim = std::uint32_t;
+
+/// Largest supported network dimension. 2^26 node labels fit comfortably in
+/// 32 bits and keep exhaustive per-node sweeps tractable.
+inline constexpr Dim kMaxDimension = 26;
+
+/// 2^n as a node count. Precondition: n <= kMaxDimension.
+[[nodiscard]] constexpr std::uint64_t pow2(Dim n) noexcept {
+  return std::uint64_t{1} << n;
+}
+
+/// Value of bit `i` of `x` (0 or 1).
+[[nodiscard]] constexpr std::uint32_t bit(NodeId x, Dim i) noexcept {
+  return (x >> i) & 1u;
+}
+
+/// `x` with bit `i` flipped.
+[[nodiscard]] constexpr NodeId flip_bit(NodeId x, Dim i) noexcept {
+  return x ^ (NodeId{1} << i);
+}
+
+/// `x` with bit `i` forced to `v` (v must be 0 or 1).
+[[nodiscard]] constexpr NodeId set_bit(NodeId x, Dim i, std::uint32_t v) noexcept {
+  return (x & ~(NodeId{1} << i)) | (NodeId{v & 1u} << i);
+}
+
+/// Mask selecting the low `n` bits. low_mask(0) == 0; low_mask(32) is all ones.
+[[nodiscard]] constexpr NodeId low_mask(Dim n) noexcept {
+  return n >= 32 ? ~NodeId{0} : (NodeId{1} << n) - 1u;
+}
+
+/// The low `n` bits of `x`.
+[[nodiscard]] constexpr NodeId low_bits(NodeId x, Dim n) noexcept {
+  return x & low_mask(n);
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr Dim popcount(NodeId x) noexcept {
+  return static_cast<Dim>(std::popcount(x));
+}
+
+/// Hamming distance between two labels.
+[[nodiscard]] constexpr Dim hamming(NodeId a, NodeId b) noexcept {
+  return popcount(a ^ b);
+}
+
+/// Index of the most significant set bit. Precondition: x != 0.
+[[nodiscard]] constexpr Dim msb_index(NodeId x) noexcept {
+  return static_cast<Dim>(31 - std::countl_zero(x));
+}
+
+/// Index of the least significant set bit. Precondition: x != 0.
+[[nodiscard]] constexpr Dim lsb_index(NodeId x) noexcept {
+  return static_cast<Dim>(std::countr_zero(x));
+}
+
+/// True iff `m` is a power of two (1, 2, 4, ...).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t m) noexcept {
+  return m != 0 && (m & (m - 1)) == 0;
+}
+
+/// log2 of a power of two. Precondition: is_pow2(m).
+[[nodiscard]] constexpr Dim log2_exact(std::uint64_t m) noexcept {
+  return static_cast<Dim>(std::countr_zero(m));
+}
+
+}  // namespace gcube

@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace gcube {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    GCUBE_REQUIRE(!body.empty(), "bare '--' is not a flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --key value when the next token is not itself a flag; --flag
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+void CliArgs::allow(const std::set<std::string>& flags) {
+  for (const auto& [key, value] : values_) {
+    GCUBE_REQUIRE(flags.contains(key), "unknown flag --" + key);
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+}  // namespace gcube

@@ -1,0 +1,28 @@
+// Precondition checking.
+//
+// Library entry points validate their arguments with GCUBE_REQUIRE, which
+// throws std::invalid_argument with a location-tagged message: callers of a
+// routing library get diagnosable errors, not UB. Internal invariants that
+// cannot be violated by any caller use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gcube::detail {
+
+[[noreturn]] inline void fail_requirement(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed: " + expr +
+                              (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace gcube::detail
+
+#define GCUBE_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::gcube::detail::fail_requirement(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

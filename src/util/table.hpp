@@ -1,0 +1,36 @@
+// Plain-text table rendering for bench harnesses and examples.
+//
+// Every figure-reproduction bench prints one of these tables; keeping the
+// format in one place means EXPERIMENTS.md rows and bench output stay
+// aligned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcube {
+
+/// A fixed-column text table. Columns are declared once; rows are appended
+/// as strings (use `fmt_double` / std::to_string at call sites).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 3 digits).
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+}  // namespace gcube

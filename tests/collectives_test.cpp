@@ -1,0 +1,164 @@
+// Collective-communication tests: spanning trees, broadcast schedules,
+// multicast route unions (the primitives the paper's introduction cites).
+#include <gtest/gtest.h>
+
+#include "fault/fault_set.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "routing/collectives.hpp"
+#include "routing/ffgcr.hpp"
+#include "routing/tree_routing.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/gaussian_tree.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(SpanningTree, CoversConnectedTopology) {
+  const GaussianCube gc(8, 4);
+  const auto tree = build_bfs_spanning_tree(gc, 5);
+  EXPECT_EQ(tree.reached, gc.node_count());
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    ASSERT_NE(tree.parent[u], SpanningTree::kNoParent);
+    if (u != tree.root) {
+      // Parent link is a real link.
+      const NodeId diff = u ^ tree.parent[u];
+      ASSERT_EQ(popcount(diff), 1u);
+      ASSERT_TRUE(gc.has_link(u, lsb_index(diff)));
+      ASSERT_EQ(tree.depth[u], tree.depth[tree.parent[u]] + 1);
+    }
+  }
+}
+
+TEST(SpanningTree, DepthsAreBfsDistances) {
+  const GaussianCube gc(7, 2);
+  const Graph g(gc);
+  const auto tree = build_bfs_spanning_tree(gc, 0);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    EXPECT_EQ(tree.depth[u], dist[u]);
+  }
+  EXPECT_EQ(tree.max_depth,
+            *std::max_element(dist.begin(), dist.end()));
+}
+
+TEST(SpanningTree, ChildCountsAddUp) {
+  const GaussianCube gc(7, 2);
+  const auto tree = build_bfs_spanning_tree(gc, 3);
+  std::uint64_t total_children = 0;
+  for (const auto& kids : tree.children) total_children += kids.size();
+  EXPECT_EQ(total_children, tree.reached - 1);
+}
+
+TEST(SpanningTree, FaultAwareVariantAvoidsFaults) {
+  const GaussianCube gc(7, 2);
+  FaultSet faults;
+  faults.fail_node(9);
+  faults.fail_link(0, 2);
+  const auto tree = build_bfs_spanning_tree(gc, 0, &faults);
+  EXPECT_EQ(tree.parent[9], SpanningTree::kNoParent);
+  EXPECT_EQ(tree.reached, gc.node_count() - 1);
+  // The faulty link is not a tree edge in either direction.
+  EXPECT_NE(tree.parent[0b0000100], 0u);
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    if (u == tree.root || tree.parent[u] == SpanningTree::kNoParent) continue;
+    ASSERT_TRUE(faults.link_usable(u, lsb_index(u ^ tree.parent[u])));
+  }
+}
+
+TEST(SpanningTree, RejectsFaultyRoot) {
+  const GaussianCube gc(6, 2);
+  FaultSet faults;
+  faults.fail_node(1);
+  EXPECT_THROW((void)build_bfs_spanning_tree(gc, 1, &faults),
+               std::invalid_argument);
+}
+
+TEST(Broadcast, HypercubeBinomialTreeIsOptimal) {
+  // BFS from 0 with ascending neighbor order yields the binomial tree;
+  // single-port broadcast on H_n then takes exactly n rounds, the known
+  // optimum.
+  for (const Dim n : {2u, 3u, 4u, 5u, 6u, 8u}) {
+    const Hypercube h(n);
+    const auto tree = build_bfs_spanning_tree(h, 0);
+    EXPECT_EQ(single_port_broadcast_rounds(tree), n) << "n=" << n;
+    EXPECT_EQ(all_port_broadcast_rounds(tree), n) << "n=" << n;
+  }
+}
+
+TEST(Broadcast, SinglePortAtLeastAllPort) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t m : {1u, 2u, 4u}) {
+    const GaussianCube gc(8, m);
+    for (int i = 0; i < 5; ++i) {
+      const auto root = static_cast<NodeId>(rng.below(gc.node_count()));
+      const auto tree = build_bfs_spanning_tree(gc, root);
+      const auto single = single_port_broadcast_rounds(tree);
+      const auto all = all_port_broadcast_rounds(tree);
+      EXPECT_GE(single, all);
+      // log2(N) is a hard lower bound for single-port broadcast.
+      EXPECT_GE(single, 8u);
+      EXPECT_LT(single, gc.node_count());
+    }
+  }
+}
+
+TEST(Broadcast, RoundsGrowWithDilution) {
+  // Sparser networks broadcast slower (deeper trees).
+  const auto rounds_for = [](std::uint64_t m) {
+    const GaussianCube gc(10, m);
+    return all_port_broadcast_rounds(build_bfs_spanning_tree(gc, 0));
+  };
+  EXPECT_LE(rounds_for(1), rounds_for(2));
+  EXPECT_LE(rounds_for(2), rounds_for(4));
+}
+
+TEST(Broadcast, TrivialSingleNodeSubtree) {
+  SpanningTree tree;
+  tree.root = 0;
+  tree.parent = {0};
+  tree.children = {{}};
+  tree.depth = {0};
+  tree.reached = 1;
+  EXPECT_EQ(single_port_broadcast_rounds(tree), 0u);
+  EXPECT_EQ(all_port_broadcast_rounds(tree), 0u);
+}
+
+TEST(Multicast, SharesLinksAcrossDestinations) {
+  const GaussianCube gc(8, 2);
+  const FfgcrRouter router(gc);
+  // Destinations in one far GEEC: routes share the long common prefix.
+  const std::vector<NodeId> dests{0b11110000, 0b11010000, 0b10110000};
+  const auto result = multicast_tree(router, 0, dests);
+  EXPECT_GT(result.links_used, 0u);
+  EXPECT_LE(result.links_used, result.total_route_length);
+  EXPECT_LT(result.links_used, result.total_route_length)
+      << "overlapping routes must share at least one link";
+  // Sanity against individual route lengths.
+  std::size_t max_len = 0;
+  for (const NodeId d : dests) {
+    max_len = std::max(max_len, router.plan(0, d).route->length());
+  }
+  EXPECT_EQ(result.max_route_length, max_len);
+}
+
+TEST(Multicast, SingleDestinationEqualsUnicast) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const auto result = multicast_tree(router, 3, {100});
+  const auto unicast = router.plan(3, 100);
+  EXPECT_EQ(result.links_used, unicast.route->length());
+  EXPECT_EQ(result.total_route_length, unicast.route->length());
+}
+
+TEST(Multicast, EmptyDestinationSet) {
+  const GaussianCube gc(6, 2);
+  const FfgcrRouter router(gc);
+  const auto result = multicast_tree(router, 0, {});
+  EXPECT_EQ(result.links_used, 0u);
+  EXPECT_EQ(result.max_route_length, 0u);
+}
+
+}  // namespace
+}  // namespace gcube

@@ -1,0 +1,159 @@
+// Channel-dependency (deadlock) analysis tests.
+//
+// Findings encoded here (also discussed in EXPERIMENTS.md):
+//  * dimension-ordered e-cube routing has an acyclic channel dependency
+//    graph (the classical Dally-Seitz result) — the checker must agree;
+//  * FFGCR's mixed dimension order (tree walk interleaved with high-bit
+//    fixes, detours traversing dimensions both ways) produces channel
+//    dependency cycles, so the paper's "deadlock-free routes" claim is a
+//    statement about its store-and-forward, eager-readership model (finite
+//    cycle-free paths), not wormhole safety.
+#include <gtest/gtest.h>
+
+#include "routing/deadlock.hpp"
+#include "routing/ecube.hpp"
+#include "routing/ffgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/topology.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(ChannelDependencyGraph, EmptyHasNoCycle) {
+  const ChannelDependencyGraph cdg;
+  EXPECT_EQ(cdg.channel_count(), 0u);
+  EXPECT_FALSE(cdg.has_cycle());
+}
+
+TEST(ChannelDependencyGraph, SingleRouteIsAcyclic) {
+  ChannelDependencyGraph cdg;
+  Route r(0);
+  r.append(0);
+  r.append(1);
+  r.append(2);
+  cdg.add_route(r);
+  EXPECT_EQ(cdg.channel_count(), 3u);
+  EXPECT_EQ(cdg.dependency_count(), 2u);
+  EXPECT_FALSE(cdg.has_cycle());
+}
+
+TEST(ChannelDependencyGraph, DetectsHandmadeCycle) {
+  // Four routes chasing each other around a square in H_2:
+  // 00->01->11, 01->11->10, 11->10->00, 10->00->01.
+  ChannelDependencyGraph cdg;
+  const NodeId starts[] = {0b00, 0b01, 0b11, 0b10};
+  const Dim first[] = {0, 1, 0, 1};
+  const Dim second[] = {1, 0, 1, 0};
+  for (int i = 0; i < 4; ++i) {
+    Route r(starts[i]);
+    r.append(first[i]);
+    r.append(second[i]);
+    cdg.add_route(r);
+  }
+  EXPECT_TRUE(cdg.has_cycle());
+}
+
+TEST(ChannelDependencyGraph, EcubeIsWormholeSafe) {
+  // Dimension order: dependencies only go from lower to higher dimensions,
+  // hence no cycle — for the full all-pairs route set.
+  for (const Dim n : {3u, 4u, 5u}) {
+    const Hypercube h(n);
+    const EcubeRouter router(h);
+    ChannelDependencyGraph cdg;
+    for (NodeId s = 0; s < h.node_count(); ++s) {
+      for (NodeId d = 0; d < h.node_count(); ++d) {
+        cdg.add_route(*router.plan(s, d).route);
+      }
+    }
+    EXPECT_FALSE(cdg.has_cycle()) << "n=" << n;
+    EXPECT_EQ(cdg.channel_count(), 2 * h.link_count());
+  }
+}
+
+TEST(ChannelDependencyGraph, FfgcrIsNotWormholeSafe) {
+  // The finding: FFGCR's all-pairs route set has dependency cycles. Its
+  // deadlock freedom is of the store-and-forward kind (routes are finite
+  // simple paths; eager readership drains queues), not Dally-Seitz.
+  const GaussianCube gc(6, 2);
+  const FfgcrRouter router(gc);
+  ChannelDependencyGraph cdg;
+  for (NodeId s = 0; s < gc.node_count(); ++s) {
+    for (NodeId d = 0; d < gc.node_count(); ++d) {
+      cdg.add_route(*router.plan(s, d).route);
+    }
+  }
+  EXPECT_TRUE(cdg.has_cycle());
+}
+
+TEST(VirtualChannels, AnnotationCountsDescents) {
+  Route r(0);
+  for (const Dim c : {1u, 3u, 2u, 5u, 0u, 4u}) r.append(c);
+  const auto vcs = annotate_virtual_channels(r);
+  const std::vector<std::uint32_t> expected{0, 0, 1, 1, 2, 2};
+  EXPECT_EQ(vcs, expected);
+  EXPECT_EQ(virtual_channels_required(r), 3u);
+}
+
+TEST(VirtualChannels, EmptyRouteNeedsNone) {
+  EXPECT_EQ(virtual_channels_required(Route(7)), 0u);
+}
+
+TEST(VirtualChannels, AscendingRouteNeedsOne) {
+  Route r(0);
+  for (const Dim c : {0u, 2u, 5u}) r.append(c);
+  EXPECT_EQ(virtual_channels_required(r), 1u);
+}
+
+TEST(VirtualChannels, MakeFfgcrWormholeSafe) {
+  // The headline: the same all-pairs FFGCR route sets whose plain CDG is
+  // cyclic become acyclic under the ascending-vc annotation.
+  for (const auto& [n, m] : std::vector<std::pair<Dim, std::uint64_t>>{
+           {5u, 2u}, {6u, 2u}, {6u, 4u}}) {
+    const GaussianCube gc(n, m);
+    const FfgcrRouter router(gc);
+    ChannelDependencyGraph plain;
+    ChannelDependencyGraph with_vcs;
+    std::uint32_t max_vcs = 0;
+    for (NodeId s = 0; s < gc.node_count(); ++s) {
+      for (NodeId d = 0; d < gc.node_count(); ++d) {
+        const RoutingResult planned = router.plan(s, d);
+        const Route& route = *planned.route;
+        plain.add_route(route);
+        with_vcs.add_route(route, annotate_virtual_channels(route));
+        max_vcs = std::max(max_vcs, virtual_channels_required(route));
+      }
+    }
+    EXPECT_TRUE(plain.has_cycle()) << gc.name();
+    EXPECT_FALSE(with_vcs.has_cycle()) << gc.name();
+    EXPECT_GE(max_vcs, 2u) << gc.name();
+  }
+}
+
+TEST(VirtualChannels, EcubeNeedsExactlyOne) {
+  const Hypercube h(5);
+  const EcubeRouter router(h);
+  for (NodeId s = 0; s < 32; ++s) {
+    for (NodeId d = 0; d < 32; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(virtual_channels_required(*router.plan(s, d).route), 1u);
+    }
+  }
+}
+
+TEST(ChannelDependencyGraph, DirectionalityMatters) {
+  // The same undirected link in both directions is two channels; using
+  // them in opposite directions must not by itself create a cycle.
+  ChannelDependencyGraph cdg;
+  Route forth(0b00);
+  forth.append(0);
+  forth.append(1);
+  Route back(0b11);
+  back.append(1);
+  back.append(0);
+  cdg.add_route(forth);
+  cdg.add_route(back);
+  EXPECT_FALSE(cdg.has_cycle());
+}
+
+}  // namespace
+}  // namespace gcube

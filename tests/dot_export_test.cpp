@@ -1,0 +1,81 @@
+// DOT export tests: structure, labels, fault and route decoration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dot_export.hpp"
+#include "routing/ffgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/topology.hpp"
+
+namespace gcube {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(DotExport, EmitsEveryNodeAndLinkOnce) {
+  const Hypercube h(3);
+  std::ostringstream os;
+  write_dot(os, h);
+  const std::string dot = os.str();
+  EXPECT_EQ(count_occurrences(dot, "n0 ["), 1u);
+  EXPECT_EQ(count_occurrences(dot, " -- "), h.link_count());
+  EXPECT_NE(dot.find("graph \"H_3\""), std::string::npos);
+}
+
+TEST(DotExport, BinaryVersusDecimalLabels) {
+  const Hypercube h(3);
+  std::ostringstream binary;
+  write_dot(binary, h);
+  EXPECT_NE(binary.str().find("label=\"101\""), std::string::npos);
+  DotOptions options;
+  options.binary_labels = false;
+  std::ostringstream decimal;
+  write_dot(decimal, h, options);
+  EXPECT_NE(decimal.str().find("label=\"5\""), std::string::npos);
+  EXPECT_EQ(decimal.str().find("label=\"101\""), std::string::npos);
+}
+
+TEST(DotExport, MarksFaults) {
+  const GaussianCube gc(5, 2);
+  FaultSet faults;
+  faults.fail_node(3);
+  faults.fail_link(0, 0);
+  DotOptions options;
+  options.faults = &faults;
+  std::ostringstream os;
+  write_dot(os, gc, options);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("n3 ["), std::string::npos);
+  EXPECT_NE(dot.find("color=red, fontcolor=red"), std::string::npos);
+  EXPECT_NE(dot.find("color=red, style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, HighlightsRoute) {
+  const GaussianCube gc(5, 2);
+  const FfgcrRouter router(gc);
+  const auto result = router.plan(0, 21);
+  DotOptions options;
+  options.route = &*result.route;
+  std::ostringstream os;
+  write_dot(os, gc, options);
+  EXPECT_EQ(count_occurrences(os.str(), "color=blue, penwidth=2"),
+            result.route->length() + result.route->nodes().size());
+}
+
+TEST(DotExport, RefusesHugeNetworks) {
+  const Hypercube h(14);
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(os, h), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gcube

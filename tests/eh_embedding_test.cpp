@@ -1,0 +1,103 @@
+// EH embedding tests: the GC crossing structure G(p, q, k) must map to
+// EH(|Dim(p)|, |Dim(q)|) as an exact graph isomorphism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "routing/eh_embedding.hpp"
+#include "topology/gaussian_tree.hpp"
+
+namespace gcube {
+namespace {
+
+/// Enumerates every node of the structure containing `anchor` by brute
+/// force over all GC labels.
+std::set<NodeId> structure_nodes(const GaussianCube& gc,
+                                 const EhEmbedding& emb) {
+  std::set<NodeId> nodes;
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    if (emb.contains(u)) nodes.insert(u);
+  }
+  return nodes;
+}
+
+class EmbeddingTest : public ::testing::TestWithParam<std::tuple<Dim, Dim>> {};
+
+TEST_P(EmbeddingTest, BijectionAndIsomorphism) {
+  const auto [n, alpha] = GetParam();
+  if (alpha > n) GTEST_SKIP();
+  const GaussianCube gc(n, pow2(alpha));
+  const GaussianTree tree(alpha);
+  // Every tree edge with both classes carrying hypercube dimensions.
+  for (NodeId p = 0; p < gc.class_count(); ++p) {
+    for (const NodeId q : tree.neighbors(p)) {
+      if (p > q) continue;
+      if (gc.high_dim_count(p) == 0 || gc.high_dim_count(q) == 0) continue;
+      const EhEmbedding emb(gc, p, q, /*anchor=*/p);
+      const auto& eh = emb.eh();
+      EXPECT_EQ(eh.s(), gc.high_dim_count(p));
+      EXPECT_EQ(eh.t(), gc.high_dim_count(q));
+
+      const auto nodes = structure_nodes(gc, emb);
+      ASSERT_EQ(nodes.size(), eh.node_count());
+
+      // Bijection: to_eh is injective onto all EH labels; from_eh inverts.
+      std::set<NodeId> images;
+      for (const NodeId u : nodes) {
+        const NodeId x = emb.to_eh(u);
+        ASSERT_LT(x, eh.node_count());
+        images.insert(x);
+        ASSERT_EQ(emb.from_eh(x), u);
+        // Class <-> c-bit correspondence.
+        ASSERT_EQ(eh.c_bit(x) == 1, gc.ending_class(u) == q);
+      }
+      ASSERT_EQ(images.size(), eh.node_count());
+
+      // Isomorphism: EH links map exactly onto GC links inside the
+      // structure (via to_gc_dim), and the GC link exists.
+      for (NodeId x = 0; x < eh.node_count(); ++x) {
+        const NodeId u = emb.from_eh(x);
+        for (Dim c = 0; c < eh.dims(); ++c) {
+          const bool eh_link = eh.has_link(x, c);
+          const Dim gc_dim = emb.to_gc_dim(c);
+          const NodeId v = flip_bit(u, gc_dim);
+          const bool gc_link = gc.has_link(u, gc_dim) && emb.contains(v) &&
+                               emb.from_eh(flip_bit(x, c)) == v;
+          ASSERT_EQ(eh_link, gc_link)
+              << gc.name() << " p=" << p << " q=" << q << " x=" << x
+              << " ehdim=" << c;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EmbeddingTest,
+    ::testing::Combine(::testing::Values<Dim>(5, 6, 7, 8, 9, 10),
+                       ::testing::Values<Dim>(1, 2, 3)));
+
+TEST(Embedding, RejectsDimensionlessClass) {
+  const GaussianCube gc(5, 4);  // Dim(1) is empty
+  EXPECT_THROW(EhEmbedding(gc, 0, 1, 0), std::invalid_argument);
+}
+
+TEST(Embedding, RejectsNonNeighborClasses) {
+  const GaussianCube gc(10, 4);
+  // Classes 0 and 3 differ in two bits: not a tree edge.
+  EXPECT_THROW(EhEmbedding(gc, 0, 3, 0), std::invalid_argument);
+}
+
+TEST(Embedding, AnchorSelectsInstance) {
+  const GaussianCube gc(10, 2);
+  // Dim(0) = {2,4,6,8}, Dim(1) = {1,3,5,7,9}: no fixed bits remain outside
+  // the structure, so there is exactly one instance.
+  const EhEmbedding emb(gc, 0, 1, 0);
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    EXPECT_TRUE(emb.contains(u));
+  }
+}
+
+}  // namespace
+}  // namespace gcube

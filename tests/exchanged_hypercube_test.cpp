@@ -1,0 +1,128 @@
+// Exchanged Hypercube tests (paper Definition 7).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "topology/exchanged_hypercube.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(ExchangedHypercube, RejectsDegenerateParameters) {
+  EXPECT_THROW(ExchangedHypercube(0, 1), std::invalid_argument);
+  EXPECT_THROW(ExchangedHypercube(1, 0), std::invalid_argument);
+}
+
+TEST(ExchangedHypercube, PartExtractionRoundTrips) {
+  const ExchangedHypercube eh(3, 2);
+  for (NodeId u = 0; u < eh.node_count(); ++u) {
+    EXPECT_EQ(eh.make_node(eh.a_part(u), eh.b_part(u), eh.c_bit(u)), u);
+  }
+}
+
+class EhParamTest
+    : public ::testing::TestWithParam<std::tuple<Dim, Dim>> {};
+
+TEST_P(EhParamTest, MatchesDefinitionSevenEdgeRule) {
+  const auto [s, t] = GetParam();
+  const ExchangedHypercube eh(s, t);
+  for (NodeId u = 0; u < eh.node_count(); ++u) {
+    for (Dim c = 0; c < eh.dims(); ++c) {
+      const NodeId v = Topology::neighbor(u, c);
+      // Definition 7, written out: differ only in bit 0; or b-part Hamming
+      // distance 1 with both c-bits 1; or a-part Hamming distance 1 with
+      // both c-bits 0.
+      const bool cross = (u ^ v) == 1;
+      const bool b_move = eh.a_part(u) == eh.a_part(v) &&
+                          hamming(eh.b_part(u), eh.b_part(v)) == 1 &&
+                          eh.c_bit(u) == 1 && eh.c_bit(v) == 1;
+      const bool a_move = eh.b_part(u) == eh.b_part(v) &&
+                          hamming(eh.a_part(u), eh.a_part(v)) == 1 &&
+                          eh.c_bit(u) == 0 && eh.c_bit(v) == 0;
+      EXPECT_EQ(eh.has_link(u, c), cross || b_move || a_move)
+          << "s=" << s << " t=" << t << " u=" << u << " c=" << c;
+    }
+  }
+}
+
+TEST_P(EhParamTest, IsConnected) {
+  const auto [s, t] = GetParam();
+  const ExchangedHypercube eh(s, t);
+  EXPECT_TRUE(is_connected(Graph(eh)));
+}
+
+TEST_P(EhParamTest, SideCubesArePartitionedHypercubes) {
+  const auto [s, t] = GetParam();
+  const ExchangedHypercube eh(s, t);
+  // c==0 nodes group by b-part into 2^t disjoint s-cubes; c==1 nodes group
+  // by a-part into 2^s disjoint t-cubes.
+  std::map<NodeId, std::size_t> s_cubes, t_cubes;
+  for (NodeId u = 0; u < eh.node_count(); ++u) {
+    if (eh.c_bit(u) == 0) {
+      ++s_cubes[eh.b_part(u)];
+      for (Dim c = 1; c <= t; ++c) EXPECT_FALSE(eh.has_link(u, c));
+      for (Dim c = t + 1; c <= t + s; ++c) EXPECT_TRUE(eh.has_link(u, c));
+    } else {
+      ++t_cubes[eh.a_part(u)];
+      for (Dim c = 1; c <= t; ++c) EXPECT_TRUE(eh.has_link(u, c));
+      for (Dim c = t + 1; c <= t + s; ++c) EXPECT_FALSE(eh.has_link(u, c));
+    }
+  }
+  EXPECT_EQ(s_cubes.size(), pow2(t));
+  for (const auto& [b, size] : s_cubes) EXPECT_EQ(size, pow2(s));
+  EXPECT_EQ(t_cubes.size(), pow2(s));
+  for (const auto& [a, size] : t_cubes) EXPECT_EQ(size, pow2(t));
+}
+
+TEST_P(EhParamTest, LinkCountFormula) {
+  const auto [s, t] = GetParam();
+  const ExchangedHypercube eh(s, t);
+  // Cross links: 2^(s+t). In-cube: 2^t cubes × s·2^(s-1) + 2^s × t·2^(t-1).
+  const std::uint64_t expected = pow2(s + t) +
+                                 pow2(t) * s * pow2(s - 1) +
+                                 pow2(s) * t * pow2(t - 1);
+  EXPECT_EQ(eh.link_count(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EhParamTest,
+    ::testing::Combine(::testing::Values<Dim>(1, 2, 3, 4),
+                       ::testing::Values<Dim>(1, 2, 3, 4)));
+
+TEST(ExchangedHypercube, Name) {
+  EXPECT_EQ(ExchangedHypercube(3, 2).name(), "EH(3,2)");
+}
+
+// Paper (Case II of Algorithm 4): EH(s, t) is isomorphic to EH(t, s) via
+// swapping the a- and b-parts and flipping the c-bit.
+TEST(ExchangedHypercube, SwapIsomorphism) {
+  for (const auto& [s, t] : std::vector<std::pair<Dim, Dim>>{
+           {1, 3}, {2, 3}, {2, 4}, {3, 4}}) {
+    const ExchangedHypercube a(s, t);
+    const ExchangedHypercube b(t, s);
+    const auto phi = [&](NodeId u) {
+      return b.make_node(a.b_part(u), a.a_part(u), 1u - a.c_bit(u));
+    };
+    for (NodeId u = 0; u < a.node_count(); ++u) {
+      for (Dim c = 0; c < a.dims(); ++c) {
+        if (!a.has_link(u, c)) continue;
+        const NodeId v = Topology::neighbor(u, c);
+        const NodeId pu = phi(u);
+        const NodeId pv = phi(v);
+        const NodeId diff = pu ^ pv;
+        ASSERT_EQ(popcount(diff), 1u);
+        ASSERT_TRUE(b.has_link(pu, lsb_index(diff)))
+            << "EH(" << s << "," << t << ") edge (" << u << "," << v
+            << ") must map to an edge";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcube

@@ -1,0 +1,246 @@
+// FTGCR tests — the paper's headline guarantees (§1 claims 3 & 6, Theorems
+// 3 and 5):
+//  * fault-free: FTGCR degenerates to the optimal FFGCR route;
+//  * under any fault set passing check_ftgcr_precondition, every nonfaulty
+//    pair is delivered with a route valid under the faults;
+//  * in the A-only Theorem-3 regime the route is at most 2F hops longer
+//    than the fault-free optimum (the paper's claim, verbatim); for B/C
+//    faults the claim cannot hold as stated and the asserted envelope is
+//    relative to the fault-aware optimum (see check_all_pairs);
+//  * the in-cube BFS safeguard is never engaged.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fault/categorize.hpp"
+#include "fault/fault_set.hpp"
+#include "fault/preconditions.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "routing/ffgcr.hpp"
+#include "routing/ftgcr.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+namespace {
+
+// Hop-bound checks. The paper claims optimal + 2F; that holds verbatim in
+// the A-only Theorem-3 regime (strict_2f). For B/C faults the claim cannot
+// hold as stated — there are single-fault configurations where the
+// *fault-aware shortest path itself* exceeds optimal + 2F (e.g. GC(5,2)
+// with the 0-1 tree link cut: the true optimum between nodes 0 and 1 is 7
+// hops versus a fault-free optimum of 1; even Theorem 4's own
+// H + 2(F_s+F_t) + 2 is violated by the optimum). See EXPERIMENTS.md. The
+// meaningful guarantee, asserted here: FTGCR stays within 2 hops per fault
+// plus 6 hops per engaged EH crossing (a blocked crossing costs up to a
+// displacement, two extra crossings, and a repair) of the *fault-aware*
+// shortest path —
+// the cost of the two-level discipline (tree itinerary + structure-confined
+// detours) versus an omniscient router. Measured average excess is ~0.01
+// hops per pair (bench/abl_route_overhead).
+void check_all_pairs(const GaussianCube& gc, const FaultSet& faults,
+                     bool strict_2f = false) {
+  const FtgcrRouter router(gc, faults);
+  const FfgcrRouter baseline(gc);
+  const std::size_t total_faults =
+      faults.node_fault_count() + faults.link_fault_count();
+  for (NodeId s = 0; s < gc.node_count(); ++s) {
+    if (faults.node_faulty(s)) continue;
+    const auto dist_f = bfs_distances(gc, s, [&faults](NodeId u, Dim c) {
+      return faults.link_usable(u, c);
+    });
+    for (NodeId d = 0; d < gc.node_count(); ++d) {
+      if (faults.node_faulty(d)) continue;
+      FtgcrStats stats;
+      const RoutingResult result = router.plan_with_stats(s, d, stats);
+      ASSERT_TRUE(result.delivered()) << gc.name() << " s=" << s << " d=" << d
+                                      << ": " << result.failure;
+      const Route& route = *result.route;
+      ASSERT_EQ(route.source(), s);
+      ASSERT_EQ(route.destination(), d);
+      const auto check = validate_route(gc, faults, route);
+      ASSERT_TRUE(check.ok) << check.reason;
+      ASSERT_FALSE(stats.used_fallback)
+          << "informed legs never need the BFS safeguard";
+      ASSERT_LE(route.length(), dist_f[d] + 2 * total_faults +
+                                    6 * stats.freh_crossings)
+          << gc.name() << " s=" << s << " d=" << d
+          << " (vs fault-aware optimum " << dist_f[d] << ")";
+      if (strict_2f) {
+        ASSERT_LE(route.length(),
+                  baseline.optimal_length(s, d) + 2 * total_faults)
+            << gc.name() << " s=" << s << " d=" << d;
+      }
+    }
+  }
+}
+
+class FtgcrGridTest : public ::testing::TestWithParam<std::tuple<Dim, Dim>> {};
+
+TEST_P(FtgcrGridTest, FaultFreeMatchesFfgcrExactly) {
+  const auto [n, alpha] = GetParam();
+  if (alpha > n) GTEST_SKIP();
+  const GaussianCube gc(n, pow2(alpha));
+  const FaultSet none;
+  const FtgcrRouter ft(gc, none);
+  const FfgcrRouter ff(gc);
+  for (NodeId s = 0; s < gc.node_count(); ++s) {
+    for (NodeId d = 0; d < gc.node_count(); ++d) {
+      const auto a = ft.plan(s, d);
+      const auto b = ff.plan(s, d);
+      ASSERT_TRUE(a.delivered());
+      ASSERT_EQ(a.route->length(), b.route->length());
+      ASSERT_TRUE(a.route->is_simple());
+    }
+  }
+}
+
+TEST_P(FtgcrGridTest, SingleLinkFaultsExhaustive) {
+  const auto [n, alpha] = GetParam();
+  if (alpha > n) GTEST_SKIP();
+  const GaussianCube gc(n, pow2(alpha));
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    for (Dim c = 0; c < n; ++c) {
+      if (!gc.has_link(u, c) || bit(u, c) != 0) continue;
+      FaultSet f;
+      f.fail_link(u, c);
+      if (!check_ftgcr_precondition(gc, f)) continue;
+      check_all_pairs(gc, f);
+    }
+  }
+}
+
+TEST_P(FtgcrGridTest, SingleNodeFaultsExhaustive) {
+  const auto [n, alpha] = GetParam();
+  if (alpha > n) GTEST_SKIP();
+  const GaussianCube gc(n, pow2(alpha));
+  for (NodeId u = 0; u < gc.node_count(); ++u) {
+    FaultSet f;
+    f.fail_node(u);
+    if (!check_ftgcr_precondition(gc, f)) continue;
+    check_all_pairs(gc, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallCubes, FtgcrGridTest,
+    ::testing::Combine(::testing::Values<Dim>(4, 5, 6, 7),
+                       ::testing::Values<Dim>(0, 1, 2)));
+
+TEST(Ftgcr, RandomMultiFaultCampaign) {
+  Xoshiro256 rng(71);
+  const std::vector<std::pair<Dim, Dim>> shapes = {
+      {6, 1}, {7, 1}, {7, 2}, {8, 1}, {8, 2}};
+  for (const auto& [n, alpha] : shapes) {
+    const GaussianCube gc(n, pow2(alpha));
+    int accepted = 0;
+    for (int trial = 0; trial < 300 && accepted < 25; ++trial) {
+      FaultSet f;
+      const std::uint64_t budget = 1 + rng.below(4);
+      for (std::uint64_t i = 0; i < budget; ++i) {
+        if (rng.chance(0.4)) {
+          f.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+        } else {
+          const auto u = static_cast<NodeId>(rng.below(gc.node_count()));
+          const auto c = static_cast<Dim>(rng.below(n));
+          if (gc.has_link(u, c)) f.fail_link(u, c);
+        }
+      }
+      if (f.empty() || !check_ftgcr_precondition(gc, f)) continue;
+      ++accepted;
+      check_all_pairs(gc, f);
+    }
+    EXPECT_GT(accepted, 5) << gc.name();
+  }
+}
+
+TEST(Ftgcr, TheoremThreeRegimeNeverUsesFallback) {
+  // A-category link faults only, under the per-GEEC limit: the paper's
+  // adaptive machinery must suffice with no BFS repair.
+  Xoshiro256 rng(73);
+  const GaussianCube gc(9, 2);
+  int accepted = 0;
+  for (int trial = 0; trial < 300 && accepted < 30; ++trial) {
+    FaultSet f;
+    const std::uint64_t budget = 1 + rng.below(3);
+    for (std::uint64_t i = 0; i < budget; ++i) {
+      const auto u = static_cast<NodeId>(rng.below(gc.node_count()));
+      const auto dims = gc.high_dims(gc.ending_class(u));
+      if (dims.empty()) continue;
+      f.fail_link(u, dims[rng.below(dims.size())]);
+    }
+    if (f.empty() || !check_theorem3(gc, f)) continue;
+    ++accepted;
+    check_all_pairs(gc, f, /*strict_2f=*/true);
+  }
+  EXPECT_GT(accepted, 10);
+}
+
+TEST(Ftgcr, FaultySourceOrDestinationRejected) {
+  const GaussianCube gc(6, 2);
+  FaultSet f;
+  f.fail_node(5);
+  const FtgcrRouter router(gc, f);
+  EXPECT_FALSE(router.plan(5, 9).delivered());
+  EXPECT_FALSE(router.plan(9, 5).delivered());
+}
+
+TEST(Ftgcr, ReportsHonestFailureWhenPreconditionViolated) {
+  // Class 1 of GC(5, 4) has no hypercube dimensions; kill the only tree
+  // link between two specific classes' lanes and routing must fail rather
+  // than lie.
+  const GaussianCube gc(5, 4);
+  FaultSet f;
+  f.fail_node(0b00001);  // B-category fault in a dimensionless class
+  ASSERT_FALSE(check_ftgcr_precondition(gc, f));
+  const FtgcrRouter router(gc, f);
+  // A pair whose itinerary must pass class 1's faulty lane.
+  const auto result = router.plan(0b00000, 0b00011);
+  if (result.delivered()) {
+    // If a route was found it must still be valid.
+    EXPECT_TRUE(validate_route(gc, f, *result.route).ok);
+  } else {
+    EXPECT_FALSE(result.failure.empty());
+  }
+}
+
+TEST(Ftgcr, RouteLengthDegradesGracefullyWithFaults) {
+  // Average route overhead grows with the number of faults but stays within
+  // the 2F bound (claim 3). Aggregate check over random pairs.
+  const GaussianCube gc(9, 2);
+  Xoshiro256 rng(79);
+  const FfgcrRouter baseline(gc);
+  for (std::size_t num_faults : {1u, 2u, 3u}) {
+    FaultSet f;
+    int guard = 0;
+    do {
+      f.clear();
+      while (f.node_fault_count() < num_faults) {
+        f.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+      }
+    } while (!check_ftgcr_precondition(gc, f) && ++guard < 200);
+    ASSERT_TRUE(check_ftgcr_precondition(gc, f));
+    const FtgcrRouter router(gc, f);
+    for (int i = 0; i < 300; ++i) {
+      NodeId s, d;
+      do {
+        s = static_cast<NodeId>(rng.below(gc.node_count()));
+      } while (f.node_faulty(s));
+      do {
+        d = static_cast<NodeId>(rng.below(gc.node_count()));
+      } while (f.node_faulty(d));
+      FtgcrStats stats;
+      const auto result = router.plan_with_stats(s, d, stats);
+      ASSERT_TRUE(result.delivered());
+      const auto dist_f = bfs_distances(gc, s, [&f](NodeId u, Dim c) {
+        return f.link_usable(u, c);
+      });
+      ASSERT_LE(result.route->length(),
+                dist_f[d] + 2 * num_faults + 6 * stats.freh_crossings);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcube

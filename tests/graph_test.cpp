@@ -1,0 +1,112 @@
+// Graph substrate tests: materialization, BFS, components, diameter.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "topology/topology.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(component_count(g), 5u);
+}
+
+TEST(Graph, AddEdgeRejectsBadInput) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);  // duplicate
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);  // duplicate, reversed
+  EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 9), std::invalid_argument);  // out of range
+}
+
+TEST(Graph, MaterializesTopologyFaithfully) {
+  const Hypercube h(4);
+  const Graph g(h);
+  EXPECT_EQ(g.node_count(), h.node_count());
+  EXPECT_EQ(g.edge_count(), h.link_count());
+  for (NodeId u = 0; u < h.node_count(); ++u) {
+    EXPECT_EQ(g.degree(u), h.degree(u));
+    for (Dim c = 0; c < 4; ++c) {
+      EXPECT_TRUE(g.has_edge(u, flip_bit(u, c)));
+    }
+  }
+}
+
+TEST(Graph, BfsDistancesOnHypercubeAreHamming) {
+  const Hypercube h(5);
+  const Graph g(h);
+  for (const NodeId s : {0u, 13u, 31u}) {
+    const auto dist = bfs_distances(g, s);
+    for (NodeId d = 0; d < h.node_count(); ++d) {
+      EXPECT_EQ(dist[d], hamming(s, d));
+    }
+  }
+}
+
+TEST(Graph, BfsWithLinkFilter) {
+  const Hypercube h(3);
+  // Cut every dimension-0 link: the cube splits into two 4-node squares.
+  const auto dist = bfs_distances(
+      h, 0, [](NodeId, Dim c) { return c != 0; });
+  for (NodeId d = 0; d < 8; ++d) {
+    if (bit(d, 0) == 1) {
+      EXPECT_EQ(dist[d], kUnreachable);
+    } else {
+      EXPECT_NE(dist[d], kUnreachable);
+    }
+  }
+}
+
+TEST(Graph, ShortestPathLength) {
+  const Hypercube h(4);
+  EXPECT_EQ(shortest_path_length(h, 0b0000, 0b1111), 4u);
+  EXPECT_EQ(shortest_path_length(h, 3, 3), 0u);
+}
+
+TEST(Graph, ComponentCount) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_EQ(component_count(g), 3u);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Graph, IsTree) {
+  Graph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  EXPECT_TRUE(is_tree(path));
+  Graph cycle(3);
+  cycle.add_edge(0, 1);
+  cycle.add_edge(1, 2);
+  cycle.add_edge(2, 0);
+  EXPECT_FALSE(is_tree(cycle));
+}
+
+TEST(Graph, DiameterOfHypercubeIsN) {
+  for (const Dim n : {2u, 3u, 4u, 5u}) {
+    EXPECT_EQ(diameter(Graph(Hypercube(n))), n);
+  }
+}
+
+TEST(Graph, DegreeHistogram) {
+  const GaussianCube gc(6, 2);
+  const auto hist = degree_histogram(Graph(gc));
+  std::uint64_t total = 0;
+  for (const auto count : hist) total += count;
+  EXPECT_EQ(total, gc.node_count());
+}
+
+}  // namespace
+}  // namespace gcube

@@ -1,0 +1,142 @@
+// Theorem 3 / Theorem 5 precondition checker tests (paper §5).
+#include <gtest/gtest.h>
+
+#include "fault/fault_set.hpp"
+#include "fault/preconditions.hpp"
+#include "topology/gaussian_cube.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(Theorem3, FaultFreeHolds) {
+  const GaussianCube gc(8, 4);
+  EXPECT_TRUE(check_theorem3(gc, FaultSet{}));
+}
+
+TEST(Theorem3, RejectsNonACategoryFaults) {
+  const GaussianCube gc(8, 4);
+  {
+    FaultSet f;
+    f.fail_link(0, 0);  // B-category (tree dimension)
+    const auto report = check_theorem3(gc, f);
+    EXPECT_FALSE(report.holds);
+    ASSERT_FALSE(report.violations.empty());
+  }
+  {
+    FaultSet f;
+    f.fail_node(0);  // node fault: B or C, never A
+    EXPECT_FALSE(check_theorem3(gc, f));
+  }
+}
+
+TEST(Theorem3, AcceptsFaultsUnderPerGeecLimit) {
+  // GC(10, 2): alpha = 1, Dim(0) = {2,4,6,8}, Dim(1) = {1? no: [1,9] odd >=1}
+  // Dim(1) = {3,5,7,9} — wait alpha=1 so dims >= 1: Dim(0) = even dims
+  // {2,4,6,8}, Dim(1) = odd dims {3,5,7,9} (dim 1 ≡ 1 mod 2 and >= alpha).
+  const GaussianCube gc(10, 2);
+  ASSERT_EQ(gc.high_dim_count(0), 4u);
+  FaultSet f;
+  // Three A-faults in one GEEC (node 0's): under the limit of 4.
+  f.fail_link(0, 2);
+  f.fail_link(0, 4);
+  f.fail_link(0, 6);
+  EXPECT_TRUE(check_theorem3(gc, f));
+  // A fourth one in the same GEEC breaches N(0) = 4.
+  f.fail_link(0, 8);
+  EXPECT_FALSE(check_theorem3(gc, f));
+}
+
+TEST(Theorem3, FaultsInDifferentGeecsDoNotAccumulate) {
+  const GaussianCube gc(10, 2);
+  FaultSet f;
+  // Same class, different GEECs (different fixed bits outside Dim(0)):
+  // GEEC key includes bit 1 (odd dims are outside Dim(0)).
+  f.fail_link(0b0000000000, 2);
+  f.fail_link(0b0000001000, 2);  // differs in bit 3 -> different GEEC
+  f.fail_link(0b0000100000, 2);  // differs in bit 5
+  f.fail_link(0b0010000000, 2);  // differs in bit 7
+  f.fail_link(0b1000000000, 2);  // differs in bit 9
+  EXPECT_TRUE(check_theorem3(gc, f));
+}
+
+TEST(Theorem5, FaultFreeHolds) {
+  const GaussianCube gc(8, 4);
+  EXPECT_TRUE(check_theorem5(gc, FaultSet{}));
+}
+
+TEST(Theorem5, SingleNodeFaultToleratedWhenDimsLargeEnough) {
+  // GC(12, 2): Dim(0) = {2,4,6,8,10} (5 dims), Dim(1) = {3,5,7,9,11}.
+  const GaussianCube gc(12, 2);
+  FaultSet f;
+  f.fail_node(0b000000000000);
+  EXPECT_TRUE(check_theorem5(gc, f));
+}
+
+TEST(Theorem5, NodeFaultInDimensionlessClassViolates) {
+  // GC(5, 4): class 1 has Dim(1) = {} — a faulty node there cannot be
+  // detoured around when crossing tree edges at class 1.
+  const GaussianCube gc(5, 4);
+  FaultSet f;
+  f.fail_node(0b00001);
+  EXPECT_FALSE(check_theorem5(gc, f));
+}
+
+TEST(Theorem5, CrossLinkFaultCountsAsEZero) {
+  const GaussianCube gc(12, 2);
+  FaultSet f;
+  f.fail_link(0, 0);  // tree-dimension link between classes 0 and 1
+  EXPECT_TRUE(check_theorem5(gc, f));
+  // Saturate the crossing: e_s + e_0 must stay < |Dim(0)| = 5. Add four
+  // side faults in the same crossing structure (class-0 side of the (0,1)
+  // edge, same fixed bits).
+  f.fail_node(0b000000000100);  // class 0
+  f.fail_node(0b000000010000);
+  f.fail_node(0b000001000000);
+  EXPECT_TRUE(check_theorem5(gc, f));
+  f.fail_node(0b000100000000);
+  EXPECT_FALSE(check_theorem5(gc, f));
+}
+
+TEST(Theorem5, CrossLinkWithFaultyEndpointNotDoubleCounted) {
+  const GaussianCube gc(12, 2);
+  FaultSet f;
+  f.fail_node(0);
+  f.fail_link(0, 0);  // endpoint already faulty: not an e_0 fault
+  const auto with_node = check_theorem5(gc, f);
+  FaultSet only_node;
+  only_node.fail_node(0);
+  EXPECT_EQ(with_node.holds, check_theorem5(gc, only_node).holds);
+}
+
+TEST(FtgcrPrecondition, CombinesBothChecks) {
+  const GaussianCube gc(12, 2);
+  {
+    FaultSet f;
+    f.fail_node(0);
+    EXPECT_TRUE(check_ftgcr_precondition(gc, f));
+  }
+  {
+    // Too many faults in one GEEC (node faults count here).
+    FaultSet f;
+    f.fail_link(0, 2);
+    f.fail_link(0, 4);
+    f.fail_link(0, 6);
+    f.fail_link(0, 8);
+    f.fail_link(0, 10);
+    EXPECT_FALSE(check_ftgcr_precondition(gc, f));
+  }
+}
+
+TEST(FtgcrPrecondition, ViolationMessagesAreDescriptive) {
+  const GaussianCube gc(5, 4);
+  FaultSet f;
+  f.fail_node(0b00001);
+  const auto report = check_ftgcr_precondition(gc, f);
+  ASSERT_FALSE(report.holds);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().what.find("crossing"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcube

@@ -1,0 +1,307 @@
+// Simulator tests: determinism, conservation, queueing sanity, traffic,
+// metrics arithmetic, and the parallel sweep helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "routing/ffgcr.hpp"
+#include "routing/ftgcr.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sim/traffic.hpp"
+#include "topology/gaussian_cube.hpp"
+
+namespace gcube {
+namespace {
+
+SimConfig quick_config() {
+  SimConfig cfg;
+  cfg.injection_rate = 0.05;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 300;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(NetworkSim, DeterministicForFixedSeed) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  NetworkSim sim1(gc, router, none, quick_config());
+  NetworkSim sim2(gc, router, none, quick_config());
+  const SimMetrics a = sim1.run();
+  const SimMetrics b = sim2.run();
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+}
+
+TEST(NetworkSim, DifferentSeedsDiffer) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig cfg = quick_config();
+  NetworkSim sim1(gc, router, none, cfg);
+  cfg.seed = 100;
+  NetworkSim sim2(gc, router, none, cfg);
+  EXPECT_NE(sim1.run().total_latency, sim2.run().total_latency);
+}
+
+TEST(NetworkSim, DeliversTrafficAtLowLoad) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  const SimMetrics m = NetworkSim(gc, router, none, quick_config()).run();
+  EXPECT_GT(m.generated, 0u);
+  EXPECT_GT(m.delivered, 0u);
+  EXPECT_EQ(m.dropped, 0u);
+  // At a 5% injection rate delivery should keep up with generation.
+  EXPECT_GT(static_cast<double>(m.delivered),
+            0.8 * static_cast<double>(m.generated));
+}
+
+TEST(NetworkSim, LatencyAtLeastHopsPlusOne) {
+  // Each hop takes at least one cycle and delivery happens on dequeue at
+  // the destination, so latency >= hops per packet; averages must agree.
+  const GaussianCube gc(6, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  const SimMetrics m = NetworkSim(gc, router, none, quick_config()).run();
+  ASSERT_GT(m.delivered, 0u);
+  EXPECT_GE(m.avg_latency(), m.avg_hops());
+}
+
+TEST(NetworkSim, CongestionRaisesLatency) {
+  const GaussianCube gc(6, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig low = quick_config();
+  low.injection_rate = 0.01;
+  SimConfig high = quick_config();
+  high.injection_rate = 0.30;
+  const double lat_low = NetworkSim(gc, router, none, low).run().avg_latency();
+  const double lat_high =
+      NetworkSim(gc, router, none, high).run().avg_latency();
+  EXPECT_GT(lat_high, lat_low);
+}
+
+TEST(NetworkSim, FaultyNodesNeverTouchTraffic) {
+  const GaussianCube gc(6, 1);
+  FaultSet faults;
+  faults.fail_node(7);
+  const FtgcrRouter router = FtgcrRouter(gc, faults);
+  const SimMetrics m = NetworkSim(gc, router, faults, quick_config()).run();
+  EXPECT_GT(m.delivered, 0u);
+  EXPECT_EQ(m.dropped, 0u);
+}
+
+TEST(NetworkSim, HigherServiceRateNeverHurtsLatency) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig slow = quick_config();
+  slow.injection_rate = 0.15;
+  slow.service_rate = 1;
+  SimConfig fast = slow;
+  fast.service_rate = 8;
+  const double lat_slow =
+      NetworkSim(gc, router, none, slow).run().avg_latency();
+  const double lat_fast =
+      NetworkSim(gc, router, none, fast).run().avg_latency();
+  EXPECT_LE(lat_fast, lat_slow)
+      << "eager readership (higher service rate) must not slow delivery";
+}
+
+TEST(NetworkSim, PeakInFlightGrowsWithLoad) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig low = quick_config();
+  low.injection_rate = 0.01;
+  SimConfig high = quick_config();
+  high.injection_rate = 0.20;
+  const auto m_low = NetworkSim(gc, router, none, low).run();
+  const auto m_high = NetworkSim(gc, router, none, high).run();
+  EXPECT_GT(m_high.peak_in_flight, m_low.peak_in_flight);
+}
+
+TEST(NetworkSim, ServiceOpsAccountForHops) {
+  // Every delivered packet is handled hops+1 times (each forward plus the
+  // final delivery), so over a long window service_ops stays close to
+  // total_hops + delivered (edges: packets spanning the window boundary).
+  const GaussianCube gc(6, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  const auto m = NetworkSim(gc, router, none, quick_config()).run();
+  ASSERT_GT(m.delivered, 0u);
+  const double expected =
+      static_cast<double>(m.total_hops + m.delivered);
+  EXPECT_NEAR(static_cast<double>(m.service_ops), expected,
+              0.1 * expected);
+}
+
+TEST(NetworkSim, UnboundedBuffersNeverDeadlock) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.30;  // heavy load
+  const auto m = NetworkSim(gc, router, none, cfg).run();
+  EXPECT_FALSE(m.deadlocked);
+  EXPECT_EQ(m.stalled_cycles, 0u);
+  EXPECT_EQ(m.injections_blocked, 0u);
+}
+
+TEST(NetworkSim, GenerousBuffersAtLowLoadBehaveLikeUnbounded) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig bounded = quick_config();
+  bounded.injection_rate = 0.02;
+  bounded.buffer_limit = 32;
+  const auto m = NetworkSim(gc, router, none, bounded).run();
+  EXPECT_FALSE(m.deadlocked);
+  EXPECT_GT(m.delivered, 0u);
+  SimConfig unbounded = bounded;
+  unbounded.buffer_limit = 0;
+  const auto u = NetworkSim(gc, router, none, unbounded).run();
+  EXPECT_EQ(m.delivered, u.delivered)
+      << "buffers never filled, so results must be identical";
+  EXPECT_EQ(m.total_latency, u.total_latency);
+}
+
+TEST(NetworkSim, TinyBuffersUnderSaturationDeadlock) {
+  // Store-and-forward with undifferentiated single-slot FIFOs deadlocks
+  // under saturation regardless of the routing function (see
+  // bench/abl_finite_buffers); the detector must notice and say so.
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.5;
+  cfg.buffer_limit = 1;
+  cfg.measure_cycles = 2000;
+  const auto m = NetworkSim(gc, router, none, cfg).run();
+  EXPECT_TRUE(m.deadlocked);
+  EXPECT_GT(m.injections_blocked, 0u);
+}
+
+TEST(LatencyHistogram, BucketsAndPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty
+  for (Cycle v : {0u, 1u, 1u, 3u, 3u, 3u, 3u, 100u, 100u, 1000u}) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bucket(0), 3u);   // 0, 1, 1
+  EXPECT_EQ(h.bucket(1), 4u);   // the 3s: [2, 4)
+  EXPECT_EQ(h.bucket(6), 2u);   // 100: [64, 128)
+  EXPECT_EQ(h.bucket(9), 1u);   // 1000: [512, 1024)
+  // p50 falls in the [2,4) bucket; upper edge 3.
+  EXPECT_EQ(h.percentile(0.5), 3u);
+  // p100 covers the 1000-cycle packet.
+  EXPECT_EQ(h.percentile(1.0), 1023u);
+  // Percentiles are monotone in q.
+  EXPECT_LE(h.percentile(0.1), h.percentile(0.9));
+}
+
+TEST(LatencyHistogram, SimulationTotalsMatchDeliveries) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  const SimMetrics m = NetworkSim(gc, router, none, quick_config()).run();
+  EXPECT_EQ(m.latency_histogram.total(), m.delivered);
+  // Mean must lie within [p0-ish, p100] edges.
+  EXPECT_LE(m.avg_latency(),
+            static_cast<double>(m.latency_histogram.percentile(1.0)));
+}
+
+TEST(Metrics, Arithmetic) {
+  SimMetrics m;
+  m.measured_cycles = 100;
+  m.delivered = 50;
+  m.total_latency = 500;
+  m.total_hops = 200;
+  EXPECT_DOUBLE_EQ(m.avg_latency(), 10.0);
+  EXPECT_DOUBLE_EQ(m.avg_hops(), 4.0);
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.5);
+  EXPECT_DOUBLE_EQ(m.log2_throughput(), -1.0);
+}
+
+TEST(Metrics, EmptySafe) {
+  const SimMetrics m;
+  EXPECT_DOUBLE_EQ(m.avg_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(m.log2_throughput(), 0.0);
+}
+
+TEST(Traffic, DestinationsAvoidFaultsAndSelf) {
+  FaultSet faults;
+  faults.fail_node(3);
+  const UniformTraffic traffic(16, 0.5, faults, 1);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId d = traffic.pick_destination(5, rng);
+    EXPECT_NE(d, 5u);
+    EXPECT_NE(d, 3u);
+    EXPECT_LT(d, 16u);
+  }
+  EXPECT_FALSE(traffic.eligible(3));
+  EXPECT_TRUE(traffic.eligible(5));
+}
+
+TEST(Traffic, RejectsBadParameters) {
+  const FaultSet none;
+  EXPECT_THROW(UniformTraffic(1, 0.5, none, 1), std::invalid_argument);
+  EXPECT_THROW(UniformTraffic(16, 1.5, none, 1), std::invalid_argument);
+}
+
+TEST(Runner, FaultFreeCellRuns) {
+  GcSimSpec spec;
+  spec.n = 6;
+  spec.modulus = 2;
+  spec.sim = quick_config();
+  const GcSimOutcome out = run_gc_simulation(spec);
+  EXPECT_EQ(out.faults_injected, 0u);
+  EXPECT_GT(out.metrics.delivered, 0u);
+}
+
+TEST(Runner, FaultyCellRespectsPrecondition) {
+  GcSimSpec spec;
+  spec.n = 7;
+  spec.modulus = 2;
+  spec.faulty_nodes = 1;
+  spec.sim = quick_config();
+  const GcSimOutcome out = run_gc_simulation(spec);
+  EXPECT_EQ(out.faults_injected, 1u);
+  EXPECT_GT(out.metrics.delivered, 0u);
+  EXPECT_EQ(out.metrics.dropped, 0u);
+}
+
+TEST(Sweep, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Sweep, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_index(16,
+                         [](std::size_t i) {
+                           if (i == 7) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(Sweep, ZeroJobsIsFine) {
+  parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace gcube

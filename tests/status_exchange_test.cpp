@@ -1,0 +1,108 @@
+// Fault-status-exchange tests (paper §1 claims 4-5): gossip over same-class
+// links converges in few rounds, tables stay within F same-class-related
+// entries, and convergence is complete per reachable component.
+#include <gtest/gtest.h>
+
+#include "fault/fault_set.hpp"
+#include "fault/status_exchange.hpp"
+#include "topology/gaussian_cube.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(StatusExchange, FaultFreeConvergesImmediately) {
+  const GaussianCube gc(8, 2);
+  const auto result = simulate_status_exchange(gc, FaultSet{});
+  EXPECT_EQ(result.rounds_to_convergence, 0u);
+  EXPECT_EQ(result.max_table_entries, 0u);
+  EXPECT_EQ(result.max_class_faults, 0u);
+  EXPECT_TRUE(result.converged_complete);
+}
+
+TEST(StatusExchange, SingleLinkFaultSpreadsThroughItsGeec) {
+  const GaussianCube gc(10, 2);  // Dim(0) = {2,4,6,8}
+  FaultSet faults;
+  faults.fail_link(0, 2);  // A-category fault in class 0
+  const auto result = simulate_status_exchange(gc, faults);
+  EXPECT_TRUE(result.converged_complete);
+  EXPECT_EQ(result.max_class_faults, 1u);
+  EXPECT_EQ(result.max_table_entries, 1u);
+  // The GEEC has dimension 4; information crosses it in at most its
+  // diameter many rounds.
+  EXPECT_LE(result.rounds_to_convergence, 4u);
+  EXPECT_GE(result.rounds_to_convergence, 1u);
+}
+
+TEST(StatusExchange, TreeLinkFaultIsKnownToBothClasses) {
+  const GaussianCube gc(10, 2);
+  FaultSet faults;
+  faults.fail_link(0, 0);  // B-category fault between classes 0 and 1
+  const auto result = simulate_status_exchange(gc, faults);
+  EXPECT_TRUE(result.converged_complete);
+  EXPECT_EQ(result.max_class_faults, 1u);  // related to both classes
+  EXPECT_EQ(result.max_table_entries, 1u);
+}
+
+TEST(StatusExchange, ClaimFiveTableBound) {
+  // Claim 5: each node maintains at most F addresses, F = faults related
+  // to its class. Check across random fault sets.
+  Xoshiro256 rng(91);
+  for (const auto& [n, m] : std::vector<std::pair<Dim, std::uint64_t>>{
+           {8u, 2u}, {9u, 4u}, {10u, 2u}}) {
+    const GaussianCube gc(n, m);
+    for (int trial = 0; trial < 15; ++trial) {
+      FaultSet faults;
+      const std::uint64_t count = 1 + rng.below(4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (rng.chance(0.5)) {
+          faults.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+        } else {
+          const auto u = static_cast<NodeId>(rng.below(gc.node_count()));
+          const auto c = static_cast<Dim>(rng.below(n));
+          if (gc.has_link(u, c)) faults.fail_link(u, c);
+        }
+      }
+      const auto result = simulate_status_exchange(gc, faults);
+      EXPECT_LE(result.max_table_entries, result.max_class_faults)
+          << gc.name();
+      EXPECT_TRUE(result.converged_complete) << gc.name();
+    }
+  }
+}
+
+TEST(StatusExchange, RoundsBoundedByGeecDiameter) {
+  // Claim 4 bounds the exchange rounds; the structural bound is the GEEC
+  // diameter |Dim(k)| (a hypercube's diameter is its dimension), plus one
+  // round of slack for the fixpoint check.
+  Xoshiro256 rng(93);
+  for (const auto& [n, m] : std::vector<std::pair<Dim, std::uint64_t>>{
+           {9u, 2u}, {10u, 4u}, {11u, 2u}}) {
+    const GaussianCube gc(n, m);
+    Dim max_geec_dim = 0;
+    for (NodeId k = 0; k < gc.class_count(); ++k) {
+      max_geec_dim = std::max(max_geec_dim, gc.high_dim_count(k));
+    }
+    for (int trial = 0; trial < 10; ++trial) {
+      FaultSet faults;
+      faults.fail_node(static_cast<NodeId>(rng.below(gc.node_count())));
+      const auto result = simulate_status_exchange(gc, faults);
+      EXPECT_LE(result.rounds_to_convergence, max_geec_dim + 1u) << gc.name();
+    }
+  }
+}
+
+TEST(StatusExchange, HypercubeCaseHasOneClass) {
+  // alpha = 0: one class covering the whole cube; a fault is class-related
+  // to every node and spreads through all n dimensions.
+  const GaussianCube gc(6, 1);
+  FaultSet faults;
+  faults.fail_node(0);
+  const auto result = simulate_status_exchange(gc, faults);
+  EXPECT_TRUE(result.converged_complete);
+  EXPECT_EQ(result.max_class_faults, 1u);
+  EXPECT_LE(result.rounds_to_convergence, 6u);
+}
+
+}  // namespace
+}  // namespace gcube

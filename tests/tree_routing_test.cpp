@@ -1,0 +1,196 @@
+// Tree-routing tests: FindBP, the B(·) branch table, CT closed traversal,
+// and the full inter-class walk planner (paper Algorithms 1-2, §4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/tree_routing.hpp"
+#include "topology/gaussian_tree.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+namespace {
+
+/// Reference branch point: the last common node of path(r, d) and L,
+/// scanning from r (both are paths from r in a tree, so their intersection
+/// is a common prefix).
+NodeId branch_point_by_prefix(const GaussianTree& tree,
+                              const std::vector<NodeId>& path, NodeId d) {
+  const auto to_d = tree.path(path.front(), d);
+  const std::unordered_set<NodeId> on_path(path.begin(), path.end());
+  NodeId branch = path.front();
+  for (const NodeId u : to_d) {
+    if (!on_path.contains(u)) break;
+    branch = u;
+  }
+  return branch;
+}
+
+TEST(FindBranchPoint, MatchesPrefixReferenceExhaustively) {
+  const GaussianTree tree(5);
+  const auto nodes = tree.node_count();
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<NodeId>(rng.below(nodes));
+    const auto e = static_cast<NodeId>(rng.below(nodes));
+    const auto path = tree.path(s, e);
+    const std::unordered_set<NodeId> on_path(path.begin(), path.end());
+    for (NodeId d = 0; d < nodes; ++d) {
+      if (on_path.contains(d)) continue;
+      EXPECT_EQ(find_branch_point(tree, path, d),
+                branch_point_by_prefix(tree, path, d))
+          << "s=" << s << " e=" << e << " d=" << d;
+    }
+  }
+}
+
+TEST(FindBranchPoint, RejectsTargetOnPath) {
+  const GaussianTree tree(4);
+  const auto path = tree.path(0, 9);
+  EXPECT_THROW((void)find_branch_point(tree, path, path[1]), std::invalid_argument);
+}
+
+TEST(BranchTable, GroupsTargetsByBranchNode) {
+  const GaussianTree tree(5);
+  const auto path = tree.path(0, 21);
+  std::vector<NodeId> targets;
+  for (NodeId u = 0; u < tree.node_count(); ++u) targets.push_back(u);
+  const auto table = build_branch_table(tree, path, targets);
+  const std::unordered_set<NodeId> on_path(path.begin(), path.end());
+  std::size_t grouped = 0;
+  for (const auto& [branch, group] : table) {
+    EXPECT_TRUE(on_path.contains(branch)) << "branch points lie on L";
+    for (const NodeId d : group) {
+      EXPECT_FALSE(on_path.contains(d));
+      EXPECT_EQ(find_branch_point(tree, path, d), branch);
+    }
+    grouped += group.size();
+  }
+  // Every off-path target appears exactly once.
+  EXPECT_EQ(grouped, tree.node_count() - on_path.size());
+}
+
+void expect_walk_valid(const GaussianTree& tree,
+                       const std::vector<NodeId>& walk) {
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    const NodeId diff = walk[i] ^ walk[i + 1];
+    ASSERT_EQ(popcount(diff), 1u) << "walk steps are single-bit";
+    ASSERT_TRUE(tree.has_link(walk[i], lsb_index(diff)))
+        << "walk steps are tree edges";
+  }
+}
+
+TEST(ClosedTraverse, VisitsAllTargetsAndReturns) {
+  const GaussianTree tree(5);
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto r = static_cast<NodeId>(rng.below(tree.node_count()));
+    std::vector<NodeId> targets;
+    const auto k = 1 + rng.below(5);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      targets.push_back(static_cast<NodeId>(rng.below(tree.node_count())));
+    }
+    const auto walk = closed_traverse(tree, r, targets);
+    ASSERT_EQ(walk.front(), r);
+    ASSERT_EQ(walk.back(), r);
+    expect_walk_valid(tree, walk);
+    const std::set<NodeId> covered(walk.begin(), walk.end());
+    for (const NodeId t : targets) {
+      EXPECT_TRUE(covered.contains(t)) << "target " << t << " missed";
+    }
+    // Optimality: exactly twice the Steiner-tree edge count.
+    std::vector<NodeId> terminals{r};
+    terminals.insert(terminals.end(), targets.begin(), targets.end());
+    EXPECT_EQ(walk.size() - 1, 2 * steiner_edge_count(tree, terminals));
+  }
+}
+
+TEST(ClosedTraverse, NoTargetsIsTrivial) {
+  const GaussianTree tree(4);
+  const auto walk = closed_traverse(tree, 6, {});
+  EXPECT_EQ(walk, std::vector<NodeId>{6});
+}
+
+TEST(PlanTreeWalk, CoversTargetsEndsAtDestination) {
+  const GaussianTree tree(6);
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<NodeId>(rng.below(tree.node_count()));
+    const auto d = static_cast<NodeId>(rng.below(tree.node_count()));
+    std::vector<NodeId> targets;
+    const auto k = rng.below(6);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      targets.push_back(static_cast<NodeId>(rng.below(tree.node_count())));
+    }
+    const auto walk = plan_tree_walk(tree, s, d, targets);
+    ASSERT_EQ(walk.front(), s);
+    ASSERT_EQ(walk.back(), d);
+    expect_walk_valid(tree, walk);
+    const std::set<NodeId> covered(walk.begin(), walk.end());
+    for (const NodeId t : targets) ASSERT_TRUE(covered.contains(t));
+    // Optimality: 2 * steiner − dist(s, d).
+    std::vector<NodeId> terminals{s, d};
+    terminals.insert(terminals.end(), targets.begin(), targets.end());
+    EXPECT_EQ(walk.size() - 1,
+              2 * steiner_edge_count(tree, terminals) - tree.distance(s, d));
+  }
+}
+
+TEST(PlanTreeWalk, WalkOptimalityAgainstBruteForce) {
+  // Brute-force the minimum covering walk on a tiny tree by checking that
+  // no shorter walk exists: the lower bound 2*steiner − dist is also an
+  // information-theoretic lower bound, so equality implies optimality.
+  const GaussianTree tree(3);
+  for (NodeId s = 0; s < 8; ++s) {
+    for (NodeId d = 0; d < 8; ++d) {
+      for (NodeId t1 = 0; t1 < 8; ++t1) {
+        for (NodeId t2 = 0; t2 < 8; ++t2) {
+          const auto walk = plan_tree_walk(tree, s, d, {t1, t2});
+          const std::size_t bound =
+              2 * steiner_edge_count(tree, {s, d, t1, t2}) -
+              tree.distance(s, d);
+          ASSERT_EQ(walk.size() - 1, bound)
+              << "s=" << s << " d=" << d << " t=" << t1 << "," << t2;
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanTreeWalk, DegenerateCases) {
+  const GaussianTree tree(4);
+  EXPECT_EQ(plan_tree_walk(tree, 5, 5, {}), std::vector<NodeId>{5});
+  // Target equal to source/destination adds nothing.
+  EXPECT_EQ(plan_tree_walk(tree, 5, 5, {5}), std::vector<NodeId>{5});
+  const auto direct = plan_tree_walk(tree, 0, 7, {});
+  EXPECT_EQ(direct, tree.path(0, 7));
+}
+
+TEST(PlanTreeWalk, TargetsOnPathAddNoLength) {
+  const GaussianTree tree(5);
+  const auto path = tree.path(2, 27);
+  const std::vector<NodeId> mid(path.begin() + 1, path.end() - 1);
+  const auto walk = plan_tree_walk(tree, 2, 27, mid);
+  EXPECT_EQ(walk, path);
+}
+
+TEST(SteinerEdgeCount, SingleTerminal) {
+  const GaussianTree tree(4);
+  EXPECT_EQ(steiner_edge_count(tree, {7}), 0u);
+}
+
+TEST(SteinerEdgeCount, PairIsDistance) {
+  const GaussianTree tree(5);
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<NodeId>(rng.below(tree.node_count()));
+    const auto b = static_cast<NodeId>(rng.below(tree.node_count()));
+    EXPECT_EQ(steiner_edge_count(tree, {a, b}), tree.distance(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace gcube

@@ -1,0 +1,167 @@
+// Unit tests for util/: bit helpers, deterministic RNG, table rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(26), 67108864u);
+}
+
+TEST(Bits, BitAccess) {
+  EXPECT_EQ(bit(0b1010, 0), 0u);
+  EXPECT_EQ(bit(0b1010, 1), 1u);
+  EXPECT_EQ(bit(0b1010, 3), 1u);
+  EXPECT_EQ(bit(0b1010, 4), 0u);
+}
+
+TEST(Bits, FlipBit) {
+  EXPECT_EQ(flip_bit(0b0000, 2), 0b0100u);
+  EXPECT_EQ(flip_bit(0b0100, 2), 0b0000u);
+  EXPECT_EQ(flip_bit(flip_bit(12345, 7), 7), 12345u);
+}
+
+TEST(Bits, SetBit) {
+  EXPECT_EQ(set_bit(0b0000, 1, 1), 0b0010u);
+  EXPECT_EQ(set_bit(0b1111, 1, 0), 0b1101u);
+  EXPECT_EQ(set_bit(0b1111, 1, 1), 0b1111u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(4), 0b1111u);
+  EXPECT_EQ(low_mask(32), ~NodeId{0});
+}
+
+TEST(Bits, LowBits) {
+  EXPECT_EQ(low_bits(0b110101, 3), 0b101u);
+  EXPECT_EQ(low_bits(0b110101, 0), 0u);
+}
+
+TEST(Bits, HammingAndPopcount) {
+  EXPECT_EQ(popcount(0), 0u);
+  EXPECT_EQ(popcount(0b1011), 3u);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4u);
+  EXPECT_EQ(hamming(7, 7), 0u);
+}
+
+TEST(Bits, MsbLsb) {
+  EXPECT_EQ(msb_index(1), 0u);
+  EXPECT_EQ(msb_index(0b100100), 5u);
+  EXPECT_EQ(lsb_index(0b100100), 2u);
+  EXPECT_EQ(lsb_index(1u << 31), 31u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(8), 3u);
+  EXPECT_EQ(log2_exact(1u << 20), 20u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += (a() != b());
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Xoshiro256 a(9);
+  Xoshiro256 c = a.split();
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += (a() != c());
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"n", "value"});
+  t.add_row({"1", "10"});
+  t.add_row({"12", "3"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 3), "2.000");
+}
+
+TEST(Require, ThrowsWithLocation) {
+  try {
+    GCUBE_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(msg.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gcube
