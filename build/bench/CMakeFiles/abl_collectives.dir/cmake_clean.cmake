@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_collectives.dir/abl_collectives.cpp.o"
+  "CMakeFiles/abl_collectives.dir/abl_collectives.cpp.o.d"
+  "abl_collectives"
+  "abl_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fault_categories.dir/abl_fault_categories.cpp.o"
+  "CMakeFiles/abl_fault_categories.dir/abl_fault_categories.cpp.o.d"
+  "abl_fault_categories"
+  "abl_fault_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fault_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

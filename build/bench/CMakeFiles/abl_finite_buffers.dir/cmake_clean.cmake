@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_finite_buffers.dir/abl_finite_buffers.cpp.o"
+  "CMakeFiles/abl_finite_buffers.dir/abl_finite_buffers.cpp.o.d"
+  "abl_finite_buffers"
+  "abl_finite_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_finite_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ft_hypercube.dir/abl_ft_hypercube.cpp.o"
+  "CMakeFiles/abl_ft_hypercube.dir/abl_ft_hypercube.cpp.o.d"
+  "abl_ft_hypercube"
+  "abl_ft_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ft_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_saturation.dir/abl_saturation.cpp.o"
+  "CMakeFiles/abl_saturation.dir/abl_saturation.cpp.o.d"
+  "abl_saturation"
+  "abl_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_traffic_patterns.dir/abl_traffic_patterns.cpp.o"
+  "CMakeFiles/abl_traffic_patterns.dir/abl_traffic_patterns.cpp.o.d"
+  "abl_traffic_patterns"
+  "abl_traffic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

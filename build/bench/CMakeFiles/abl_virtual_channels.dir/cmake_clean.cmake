@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_virtual_channels.dir/abl_virtual_channels.cpp.o"
+  "CMakeFiles/abl_virtual_channels.dir/abl_virtual_channels.cpp.o.d"
+  "abl_virtual_channels"
+  "abl_virtual_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_virtual_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

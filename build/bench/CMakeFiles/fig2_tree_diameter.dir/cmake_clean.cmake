@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tree_diameter.dir/fig2_tree_diameter.cpp.o"
+  "CMakeFiles/fig2_tree_diameter.dir/fig2_tree_diameter.cpp.o.d"
+  "fig2_tree_diameter"
+  "fig2_tree_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tree_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_vs_dim.dir/fig5_latency_vs_dim.cpp.o"
+  "CMakeFiles/fig5_latency_vs_dim.dir/fig5_latency_vs_dim.cpp.o.d"
+  "fig5_latency_vs_dim"
+  "fig5_latency_vs_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_vs_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_throughput_vs_dim.dir/fig6_throughput_vs_dim.cpp.o"
+  "CMakeFiles/fig6_throughput_vs_dim.dir/fig6_throughput_vs_dim.cpp.o.d"
+  "fig6_throughput_vs_dim"
+  "fig6_throughput_vs_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_throughput_vs_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

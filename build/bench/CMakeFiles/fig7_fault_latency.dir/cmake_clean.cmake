@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fault_latency.dir/fig7_fault_latency.cpp.o"
+  "CMakeFiles/fig7_fault_latency.dir/fig7_fault_latency.cpp.o.d"
+  "fig7_fault_latency"
+  "fig7_fault_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fault_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

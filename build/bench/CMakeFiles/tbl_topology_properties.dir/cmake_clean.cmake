@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_topology_properties.dir/tbl_topology_properties.cpp.o"
+  "CMakeFiles/tbl_topology_properties.dir/tbl_topology_properties.cpp.o.d"
+  "tbl_topology_properties"
+  "tbl_topology_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_topology_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

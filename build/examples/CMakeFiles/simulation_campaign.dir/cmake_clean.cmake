@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_campaign.dir/simulation_campaign.cpp.o"
+  "CMakeFiles/simulation_campaign.dir/simulation_campaign.cpp.o.d"
+  "simulation_campaign"
+  "simulation_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

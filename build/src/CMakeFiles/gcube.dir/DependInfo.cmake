@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/categorize.cpp" "src/CMakeFiles/gcube.dir/fault/categorize.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/fault/categorize.cpp.o.d"
+  "/root/repo/src/fault/fault_set.cpp" "src/CMakeFiles/gcube.dir/fault/fault_set.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/fault/fault_set.cpp.o.d"
+  "/root/repo/src/fault/preconditions.cpp" "src/CMakeFiles/gcube.dir/fault/preconditions.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/fault/preconditions.cpp.o.d"
+  "/root/repo/src/fault/status_exchange.cpp" "src/CMakeFiles/gcube.dir/fault/status_exchange.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/fault/status_exchange.cpp.o.d"
+  "/root/repo/src/fault/tolerance_bound.cpp" "src/CMakeFiles/gcube.dir/fault/tolerance_bound.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/fault/tolerance_bound.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/gcube.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dot_export.cpp" "src/CMakeFiles/gcube.dir/graph/dot_export.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/graph/dot_export.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/gcube.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/routing/collectives.cpp" "src/CMakeFiles/gcube.dir/routing/collectives.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/collectives.cpp.o.d"
+  "/root/repo/src/routing/deadlock.cpp" "src/CMakeFiles/gcube.dir/routing/deadlock.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/deadlock.cpp.o.d"
+  "/root/repo/src/routing/ecube.cpp" "src/CMakeFiles/gcube.dir/routing/ecube.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/ecube.cpp.o.d"
+  "/root/repo/src/routing/eh_embedding.cpp" "src/CMakeFiles/gcube.dir/routing/eh_embedding.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/eh_embedding.cpp.o.d"
+  "/root/repo/src/routing/ffgcr.cpp" "src/CMakeFiles/gcube.dir/routing/ffgcr.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/ffgcr.cpp.o.d"
+  "/root/repo/src/routing/freh.cpp" "src/CMakeFiles/gcube.dir/routing/freh.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/freh.cpp.o.d"
+  "/root/repo/src/routing/ftgcr.cpp" "src/CMakeFiles/gcube.dir/routing/ftgcr.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/ftgcr.cpp.o.d"
+  "/root/repo/src/routing/hypercube_ft.cpp" "src/CMakeFiles/gcube.dir/routing/hypercube_ft.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/hypercube_ft.cpp.o.d"
+  "/root/repo/src/routing/route.cpp" "src/CMakeFiles/gcube.dir/routing/route.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/route.cpp.o.d"
+  "/root/repo/src/routing/tree_routing.cpp" "src/CMakeFiles/gcube.dir/routing/tree_routing.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/routing/tree_routing.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/gcube.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/gcube.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/gcube.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/gcube.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/CMakeFiles/gcube.dir/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/sim/traffic.cpp.o.d"
+  "/root/repo/src/topology/exchanged_hypercube.cpp" "src/CMakeFiles/gcube.dir/topology/exchanged_hypercube.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/topology/exchanged_hypercube.cpp.o.d"
+  "/root/repo/src/topology/gaussian_cube.cpp" "src/CMakeFiles/gcube.dir/topology/gaussian_cube.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/topology/gaussian_cube.cpp.o.d"
+  "/root/repo/src/topology/gaussian_graph.cpp" "src/CMakeFiles/gcube.dir/topology/gaussian_graph.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/topology/gaussian_graph.cpp.o.d"
+  "/root/repo/src/topology/gaussian_tree.cpp" "src/CMakeFiles/gcube.dir/topology/gaussian_tree.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/topology/gaussian_tree.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/gcube.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/gcube.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/gcube.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/gcube.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eh_embedding_test.dir/eh_embedding_test.cpp.o"
+  "CMakeFiles/eh_embedding_test.dir/eh_embedding_test.cpp.o.d"
+  "eh_embedding_test"
+  "eh_embedding_test.pdb"
+  "eh_embedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eh_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

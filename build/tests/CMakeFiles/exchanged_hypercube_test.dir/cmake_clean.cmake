@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchanged_hypercube_test.dir/exchanged_hypercube_test.cpp.o"
+  "CMakeFiles/exchanged_hypercube_test.dir/exchanged_hypercube_test.cpp.o.d"
+  "exchanged_hypercube_test"
+  "exchanged_hypercube_test.pdb"
+  "exchanged_hypercube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchanged_hypercube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

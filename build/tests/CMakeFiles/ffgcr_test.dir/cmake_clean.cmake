@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffgcr_test.dir/ffgcr_test.cpp.o"
+  "CMakeFiles/ffgcr_test.dir/ffgcr_test.cpp.o.d"
+  "ffgcr_test"
+  "ffgcr_test.pdb"
+  "ffgcr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffgcr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

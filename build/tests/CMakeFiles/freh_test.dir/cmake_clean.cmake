@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freh_test.dir/freh_test.cpp.o"
+  "CMakeFiles/freh_test.dir/freh_test.cpp.o.d"
+  "freh_test"
+  "freh_test.pdb"
+  "freh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftgcr_test.dir/ftgcr_test.cpp.o"
+  "CMakeFiles/ftgcr_test.dir/ftgcr_test.cpp.o.d"
+  "ftgcr_test"
+  "ftgcr_test.pdb"
+  "ftgcr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftgcr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_tree_test.dir/gaussian_tree_test.cpp.o"
+  "CMakeFiles/gaussian_tree_test.dir/gaussian_tree_test.cpp.o.d"
+  "gaussian_tree_test"
+  "gaussian_tree_test.pdb"
+  "gaussian_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

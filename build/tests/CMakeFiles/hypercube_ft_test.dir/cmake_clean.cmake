@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_ft_test.dir/hypercube_ft_test.cpp.o"
+  "CMakeFiles/hypercube_ft_test.dir/hypercube_ft_test.cpp.o.d"
+  "hypercube_ft_test"
+  "hypercube_ft_test.pdb"
+  "hypercube_ft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_ft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

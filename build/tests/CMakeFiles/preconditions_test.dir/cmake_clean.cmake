@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preconditions_test.dir/preconditions_test.cpp.o"
+  "CMakeFiles/preconditions_test.dir/preconditions_test.cpp.o.d"
+  "preconditions_test"
+  "preconditions_test.pdb"
+  "preconditions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preconditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/status_exchange_test.dir/status_exchange_test.cpp.o"
+  "CMakeFiles/status_exchange_test.dir/status_exchange_test.cpp.o.d"
+  "status_exchange_test"
+  "status_exchange_test.pdb"
+  "status_exchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/status_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_routing_test.dir/tree_routing_test.cpp.o"
+  "CMakeFiles/tree_routing_test.dir/tree_routing_test.cpp.o.d"
+  "tree_routing_test"
+  "tree_routing_test.pdb"
+  "tree_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

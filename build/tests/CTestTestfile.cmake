@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/route_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/gaussian_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/exchanged_hypercube_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_model_test[1]_include.cmake")
+include("/root/repo/build/tests/preconditions_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/ffgcr_test[1]_include.cmake")
+include("/root/repo/build/tests/hypercube_ft_test[1]_include.cmake")
+include("/root/repo/build/tests/freh_test[1]_include.cmake")
+include("/root/repo/build/tests/eh_embedding_test[1]_include.cmake")
+include("/root/repo/build/tests/ftgcr_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/deadlock_test[1]_include.cmake")
+include("/root/repo/build/tests/status_exchange_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_export_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
