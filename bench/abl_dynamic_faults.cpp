@@ -1,0 +1,84 @@
+// Ablation: graceful degradation under *online* fault arrivals — the
+// paper's actual operating regime (§5: each node picks the next hop from
+// local fault knowledge). Node faults arrive mid-run at a per-cycle rate;
+// packets whose precomputed next link died re-plan per hop from their
+// current node. We sweep the arrival rate on GC(9, 1) — the full 512-node
+// hypercube, where the dimension-ordered e-cube baseline is also defined —
+// and compare FTGCR's offered-load delivery ratio against e-cube's. The
+// fault-blind baseline loses every packet whose path dies; FTGCR keeps
+// delivering until the network itself disconnects.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcube;
+  bench::print_banner(
+      "Ablation", "delivery ratio vs fault-arrival rate, GC(9, 1), "
+                  "FTGCR vs e-cube");
+  // Expected total arrivals = rate * (warmup + measure) cycles; the upper
+  // rates land near the paper's tolerated densities for a 9-cube
+  // (T(GC) ~ n - 1 faults) and beyond.
+  const std::vector<double> rates{0.0, 0.0005, 0.001, 0.002, 0.004, 0.008};
+
+  struct Cell {
+    double rate = 0.0;
+    GcSimOutcome ftgcr;
+    GcSimOutcome ecube;
+  };
+  const std::vector<Cell> cells =
+      parallel_map(rates.size(), [&](std::size_t i) {
+        Cell cell;
+        cell.rate = rates[i];
+        GcSimSpec spec;
+        spec.n = 9;
+        spec.modulus = 1;
+        spec.fault_rate = rates[i];
+        spec.fault_seed = 1234;  // same seed => same schedule per rate
+        spec.sim.injection_rate = 0.02;
+        spec.sim.warmup_cycles = 300;
+        spec.sim.measure_cycles = 1500;
+        spec.sim.seed = 9000;
+        spec.router = SimRouterKind::kFtgcr;
+        cell.ftgcr = run_gc_simulation(spec);
+        spec.router = SimRouterKind::kEcube;
+        cell.ecube = run_gc_simulation(spec);
+        return cell;
+      });
+
+  TextTable table({"fault rate", "arrivals", "FTGCR delivery", "reroutes",
+                   "dropped en route", "orphaned", "e-cube delivery",
+                   "e-cube dropped"});
+  for (const Cell& cell : cells) {
+    const SimMetrics& ft = cell.ftgcr.metrics;
+    const SimMetrics& ec = cell.ecube.metrics;
+    table.add_row({fmt_double(cell.rate, 4),
+                   std::to_string(cell.ftgcr.fault_events_scheduled),
+                   fmt_double(ft.delivery_ratio(), 4),
+                   std::to_string(ft.reroutes),
+                   std::to_string(ft.dropped_en_route),
+                   std::to_string(ft.orphaned_by_node_fault),
+                   fmt_double(ec.delivery_ratio(), 4),
+                   std::to_string(ec.dropped_en_route)});
+  }
+  table.print(std::cout);
+
+  // The claim the ablation exists to document: under mid-run faults the
+  // fault-tolerant strategy degrades strictly more gracefully than the
+  // fault-blind baseline.
+  bool ok = true;
+  for (const Cell& cell : cells) {
+    if (cell.rate == 0.0) continue;
+    if (cell.ftgcr.metrics.delivery_ratio() <
+        cell.ecube.metrics.delivery_ratio()) {
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "FTGCR >= e-cube delivery at every fault rate\n"
+                   : "WARNING: FTGCR fell below the e-cube baseline\n");
+  return ok ? 0 : 1;
+}

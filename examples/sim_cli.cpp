@@ -5,6 +5,16 @@
 //   $ ./sim_cli --n 10 --modulus 4 --rate 0.05 --cycles 2000
 //   $ ./sim_cli --n 9 --modulus 2 --faults 2 --pattern hotspot
 //   $ ./sim_cli --n 8 --modulus 2 --buffers 4 --rate 0.3
+//
+// Dynamic-fault mode (faults arriving while packets are in flight):
+//
+//   $ ./sim_cli --n 9 --modulus 1 --fault-rate 0.002 --router ftgcr
+//   $ ./sim_cli --n 9 --modulus 2 --fault-schedule events.txt
+//
+// where events.txt holds one event per line:
+//   # comment
+//   <cycle> node <node-id>
+//   <cycle> link <node-id> <dim>
 #include <iostream>
 #include <string>
 
@@ -26,6 +36,16 @@ gcube::TrafficPattern parse_pattern(const std::string& name) {
                               "hotspot)");
 }
 
+gcube::SimRouterKind parse_router(const std::string& name) {
+  using gcube::SimRouterKind;
+  if (name == "auto") return SimRouterKind::kAuto;
+  if (name == "ffgcr") return SimRouterKind::kFfgcr;
+  if (name == "ftgcr") return SimRouterKind::kFtgcr;
+  if (name == "ecube") return SimRouterKind::kEcube;
+  throw std::invalid_argument("unknown router '" + name +
+                              "' (auto|ffgcr|ftgcr|ecube)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -33,12 +53,18 @@ int main(int argc, char** argv) {
   try {
     CliArgs args(argc, argv);
     args.allow({"n", "modulus", "rate", "cycles", "warmup", "faults",
-                "pattern", "seed", "buffers", "service", "help"});
+                "pattern", "seed", "buffers", "service", "router",
+                "fault-schedule", "fault-rate", "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
           << "               [--warmup W] [--faults F] [--pattern P]\n"
-          << "               [--seed S] [--buffers B] [--service K]\n";
+          << "               [--seed S] [--buffers B] [--service K]\n"
+          << "               [--router auto|ffgcr|ftgcr|ecube]\n"
+          << "               [--fault-schedule FILE] [--fault-rate R]\n"
+          << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
+          << "scheduled events mutate the network mid-run and packets\n"
+          << "re-route per hop around faults discovered en route.\n";
       return 0;
     }
     GcSimSpec spec;
@@ -46,6 +72,12 @@ int main(int argc, char** argv) {
     spec.modulus = static_cast<std::uint64_t>(args.get_int("modulus", 2));
     spec.faulty_nodes = static_cast<std::size_t>(args.get_int("faults", 0));
     spec.pattern = parse_pattern(args.get_string("pattern", "uniform"));
+    spec.router = parse_router(args.get_string("router", "auto"));
+    if (args.has("fault-schedule")) {
+      spec.schedule =
+          FaultSchedule::from_file(args.get_string("fault-schedule", ""));
+    }
+    spec.fault_rate = args.get_double("fault-rate", 0.0);
     spec.sim.injection_rate = args.get_double("rate", 0.02);
     spec.sim.measure_cycles =
         static_cast<Cycle>(args.get_int("cycles", 1500));
@@ -62,9 +94,19 @@ int main(int argc, char** argv) {
     table.add_row({"topology", "GC(" + std::to_string(spec.n) + "," +
                                    std::to_string(spec.modulus) + ")"});
     table.add_row({"faults injected", std::to_string(outcome.faults_injected)});
-    table.add_row({"generated", std::to_string(m.generated)});
+    table.add_row({"fault events scheduled",
+                   std::to_string(outcome.fault_events_scheduled)});
+    table.add_row({"fault events applied (measured)",
+                   std::to_string(m.fault_events)});
+    table.add_row({"generated (offered)", std::to_string(m.generated)});
+    table.add_row({"accepted", std::to_string(m.accepted())});
     table.add_row({"delivered", std::to_string(m.delivered)});
-    table.add_row({"dropped", std::to_string(m.dropped)});
+    table.add_row({"delivery ratio", fmt_double(m.delivery_ratio(), 4)});
+    table.add_row({"dropped (at injection)", std::to_string(m.dropped)});
+    table.add_row({"reroutes", std::to_string(m.reroutes)});
+    table.add_row({"dropped en route", std::to_string(m.dropped_en_route)});
+    table.add_row({"orphaned by node fault",
+                   std::to_string(m.orphaned_by_node_fault)});
     table.add_row({"avg hops", fmt_double(m.avg_hops(), 3)});
     table.add_row({"avg latency (cycles)", fmt_double(m.avg_latency(), 3)});
     table.add_row({"p50 latency (<=)",

@@ -5,6 +5,7 @@ namespace gcube {
 void FaultSet::fail_node(NodeId u) {
   if (faulty_nodes_set_.insert(u).second) {
     faulty_nodes_.push_back(u);
+    ++version_;
   }
 }
 
@@ -12,10 +13,12 @@ void FaultSet::fail_link(NodeId u, Dim c) {
   const LinkId l = LinkId::of(u, c);
   if (faulty_links_set_.insert(key(l)).second) {
     faulty_links_.push_back(l);
+    ++version_;
   }
 }
 
 void FaultSet::clear() {
+  if (!empty()) ++version_;
   faulty_nodes_.clear();
   faulty_links_.clear();
   faulty_nodes_set_.clear();

@@ -55,6 +55,11 @@ class FaultSet {
            !node_faulty(flip_bit(u, c));
   }
 
+  /// Mutation counter: bumped whenever the fault set actually changes.
+  /// Consumers that cache fault-dependent plans (the routers' per-hop
+  /// memoization) compare versions instead of subscribing to callbacks.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
   [[nodiscard]] std::size_t node_fault_count() const {
     return faulty_nodes_.size();
   }
@@ -84,6 +89,7 @@ class FaultSet {
   std::vector<LinkId> faulty_links_;
   std::unordered_set<NodeId> faulty_nodes_set_;
   std::unordered_set<std::uint64_t> faulty_links_set_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace gcube

@@ -61,6 +61,24 @@ RoutingResult FfgcrRouter::plan(NodeId s, NodeId d) const {
   return result;
 }
 
+std::optional<Dim> FfgcrRouter::next_hop(NodeId cur, NodeId dst) const {
+  if (cur == dst) return std::nullopt;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(cur) << 32) | dst;
+  {
+    const std::lock_guard<std::mutex> lock(hop_cache_mu_);
+    const auto it = hop_cache_.find(key);
+    if (it != hop_cache_.end()) return it->second;
+  }
+  const RoutingResult r = plan(cur, dst);
+  GCUBE_REQUIRE(r.delivered() && !r.route->empty(),
+                "FFGCR always routes between distinct nodes");
+  const Dim c = r.route->hops().front();
+  const std::lock_guard<std::mutex> lock(hop_cache_mu_);
+  hop_cache_.emplace(key, c);
+  return c;
+}
+
 std::size_t FfgcrRouter::optimal_length(NodeId s, NodeId d) const {
   const GcRoutePlan itinerary = make_gc_route_plan(gc_, tree_, s, d);
   const NodeId cs = gc_.ending_class(s);

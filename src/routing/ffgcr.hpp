@@ -18,6 +18,8 @@
 #pragma once
 
 #include <map>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "routing/router.hpp"
@@ -46,6 +48,11 @@ class FfgcrRouter final : public Router {
   explicit FfgcrRouter(const GaussianCube& gc);
 
   [[nodiscard]] RoutingResult plan(NodeId s, NodeId d) const override;
+  /// Memoized stepwise plan. FFGCR is fault-blind, so entries never go
+  /// stale; routes are optimal, so first-hop iteration strictly shrinks the
+  /// remaining distance and always terminates at dst.
+  [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
+                                            NodeId dst) const override;
   [[nodiscard]] std::string name() const override { return "FFGCR"; }
 
   /// The optimal fault-free route length from s to d, computable without
@@ -59,6 +66,8 @@ class FfgcrRouter final : public Router {
  private:
   const GaussianCube& gc_;
   GaussianTree tree_;
+  mutable std::mutex hop_cache_mu_;
+  mutable std::unordered_map<std::uint64_t, Dim> hop_cache_;
 };
 
 }  // namespace gcube

@@ -248,4 +248,24 @@ RoutingResult FtgcrRouter::plan_with_stats(NodeId s, NodeId d,
   return finish();
 }
 
+std::optional<Dim> FtgcrRouter::next_hop(NodeId cur, NodeId dst) const {
+  if (cur == dst) return std::nullopt;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(cur) << 32) | dst;
+  const std::lock_guard<std::mutex> lock(hop_cache_mu_);
+  if (hop_cache_version_ != faults_.version()) {
+    hop_cache_.clear();
+    hop_cache_version_ = faults_.version();
+  }
+  const auto it = hop_cache_.find(key);
+  if (it != hop_cache_.end()) return it->second;
+  const RoutingResult r = plan(cur, dst);
+  const std::optional<Dim> hop =
+      r.delivered() && !r.route->empty()
+          ? std::optional<Dim>(r.route->hops().front())
+          : std::nullopt;
+  hop_cache_.emplace(key, hop);
+  return hop;
+}
+
 }  // namespace gcube

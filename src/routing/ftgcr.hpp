@@ -29,6 +29,9 @@
 // longer than FfgcrRouter::optimal_length when F faults are encountered.
 #pragma once
 
+#include <mutex>
+#include <unordered_map>
+
 #include "fault/fault_set.hpp"
 #include "routing/router.hpp"
 #include "topology/gaussian_cube.hpp"
@@ -57,6 +60,12 @@ class FtgcrRouter final : public Router {
   [[nodiscard]] RoutingResult plan(NodeId s, NodeId d) const override;
   [[nodiscard]] RoutingResult plan_with_stats(NodeId s, NodeId d,
                                               FtgcrStats& stats) const;
+  /// Memoized stepwise plan against the *live* fault set: entries are
+  /// keyed on (cur, dst) and the whole cache is invalidated whenever
+  /// FaultSet::version() moves, so mid-run fault arrivals are picked up on
+  /// the next hop. Failures (dst dead, cube disconnected) memoize too.
+  [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
+                                            NodeId dst) const override;
   [[nodiscard]] std::string name() const override { return "FTGCR"; }
 
   [[nodiscard]] const GaussianTree& class_tree() const noexcept {
@@ -67,6 +76,9 @@ class FtgcrRouter final : public Router {
   const GaussianCube& gc_;
   const FaultSet& faults_;
   GaussianTree tree_;
+  mutable std::mutex hop_cache_mu_;
+  mutable std::uint64_t hop_cache_version_ = ~std::uint64_t{0};
+  mutable std::unordered_map<std::uint64_t, std::optional<Dim>> hop_cache_;
 };
 
 }  // namespace gcube

@@ -1,12 +1,20 @@
-// Router interface: source-route planners.
+// Router interface: source-route planners with an online stepwise view.
 //
 // Planners produce complete Routes. This matches the paper's execution
 // model: the tree itinerary is computed at the source (O(n) message
 // overhead), while fault handling uses only information the paper assumes
 // locally available (incident link status plus fault data for same-class
 // nodes); the simulator then executes routes hop by hop under queueing.
+//
+// FTGCR is additionally an *online, distributed* strategy (paper §5): a
+// node can pick the next hop from its current fault knowledge. next_hop()
+// exposes that view for the simulator's dynamic-fault mode — a packet
+// whose precomputed next link just died re-plans from its current node
+// instead of traversing a dead link. Fault-aware routers memoize these
+// re-plans per (cur, dst) and invalidate on FaultSet::version() changes.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "routing/route.hpp"
@@ -22,6 +30,18 @@ class Router {
   /// empty) when fault preconditions are violated; it must never return an
   /// invalid route.
   [[nodiscard]] virtual RoutingResult plan(NodeId s, NodeId d) const = 0;
+
+  /// Stepwise interface: the dimension of the first hop of a route from
+  /// cur to dst under the router's *current* fault knowledge, or nullopt
+  /// when cur == dst or no route exists. The default derives it from
+  /// plan(); fault-aware routers override with memoized re-plans.
+  [[nodiscard]] virtual std::optional<Dim> next_hop(NodeId cur,
+                                                    NodeId dst) const {
+    if (cur == dst) return std::nullopt;
+    const RoutingResult r = plan(cur, dst);
+    if (!r.delivered() || r.route->empty()) return std::nullopt;
+    return r.route->hops().front();
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

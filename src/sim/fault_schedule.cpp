@@ -1,0 +1,110 @@
+#include "sim/fault_schedule.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gcube {
+
+void FaultSchedule::fail_node_at(Cycle cycle, NodeId node) {
+  events_.push_back({cycle, FaultEvent::Kind::kNode, node, 0});
+  sorted_ = events_.size() == 1 ||
+            (sorted_ && events_[events_.size() - 2].cycle <= cycle);
+}
+
+void FaultSchedule::fail_link_at(Cycle cycle, NodeId node, Dim dim) {
+  events_.push_back({cycle, FaultEvent::Kind::kLink, node, dim});
+  sorted_ = events_.size() == 1 ||
+            (sorted_ && events_[events_.size() - 2].cycle <= cycle);
+}
+
+const std::vector<FaultEvent>& FaultSchedule::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+FaultSchedule FaultSchedule::random_node_faults(std::uint64_t node_count,
+                                                double rate, Cycle horizon,
+                                                std::uint64_t seed,
+                                                std::size_t max_faults) {
+  GCUBE_REQUIRE(node_count >= 2, "need at least two nodes");
+  GCUBE_REQUIRE(rate >= 0.0 && rate <= 1.0,
+                "fault arrival rate must be a probability");
+  FaultSchedule schedule;
+  Xoshiro256 rng(seed);
+  std::unordered_set<NodeId> dead;
+  for (Cycle t = 0; t < horizon && schedule.size() < max_faults; ++t) {
+    if (!rng.chance(rate)) continue;
+    // Rejection-sample a still-healthy victim; give up once most of the
+    // network is gone rather than spinning.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto victim = static_cast<NodeId>(rng.below(node_count));
+      if (dead.insert(victim).second) {
+        schedule.fail_node_at(t, victim);
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::parse(std::istream& in) {
+  FaultSchedule schedule;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    Cycle cycle = 0;
+    std::string kind;
+    std::uint64_t node = 0;
+    if (!(fields >> cycle >> kind >> node)) {
+      throw std::invalid_argument("fault schedule line " +
+                                  std::to_string(line_no) +
+                                  ": expected '<cycle> node|link <id> ...'");
+    }
+    if (kind == "node") {
+      schedule.fail_node_at(cycle, static_cast<NodeId>(node));
+    } else if (kind == "link") {
+      std::uint64_t dim = 0;
+      if (!(fields >> dim)) {
+        throw std::invalid_argument(
+            "fault schedule line " + std::to_string(line_no) +
+            ": link events need '<cycle> link <node> <dim>'");
+      }
+      schedule.fail_link_at(cycle, static_cast<NodeId>(node),
+                            static_cast<Dim>(dim));
+    } else {
+      throw std::invalid_argument("fault schedule line " +
+                                  std::to_string(line_no) +
+                                  ": unknown event kind '" + kind + "'");
+    }
+    std::string rest;
+    if (fields >> rest && rest[0] != '#') {
+      throw std::invalid_argument("fault schedule line " +
+                                  std::to_string(line_no) +
+                                  ": trailing garbage '" + rest + "'");
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::from_file(const std::string& path) {
+  std::ifstream in(path);
+  GCUBE_REQUIRE(in.good(), "cannot open fault schedule file " + path);
+  return parse(in);
+}
+
+}  // namespace gcube

@@ -1,0 +1,66 @@
+// Fault schedules: when faults *arrive* during a simulation.
+//
+// The paper's strategy is online and distributed — nodes route around
+// faults they discover en route — so the interesting regime is faults that
+// appear while packets are in flight. A FaultSchedule is an ordered list of
+// {cycle, node-or-link} events that NetworkSim applies to the live FaultSet
+// as the clock passes each event's cycle. Schedules come from three
+// sources: programmatic construction (tests, benches), a text file (one
+// event per line, see parse()), or the random-arrival generator
+// (delivery-ratio-vs-fault-arrival-rate studies).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "util/bits.hpp"
+
+namespace gcube {
+
+struct FaultEvent {
+  enum class Kind { kNode, kLink };
+
+  Cycle cycle = 0;
+  Kind kind = Kind::kNode;
+  NodeId node = 0;
+  Dim dim = 0;  // kLink only: the dimension of the failing link at `node`
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultSchedule {
+ public:
+  void fail_node_at(Cycle cycle, NodeId node);
+  void fail_link_at(Cycle cycle, NodeId node, Dim dim);
+
+  /// Events sorted by cycle (stable: same-cycle events keep insertion
+  /// order, so replay is deterministic).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const;
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Random node-fault arrivals: each cycle in [0, horizon) one new node
+  /// fails with probability `rate` (victim uniform among nodes not already
+  /// scheduled), up to `max_faults` total. Deterministic in `seed`.
+  [[nodiscard]] static FaultSchedule random_node_faults(
+      std::uint64_t node_count, double rate, Cycle horizon,
+      std::uint64_t seed, std::size_t max_faults);
+
+  /// Parses the schedule file format: one event per line,
+  ///   <cycle> node <node-id>
+  ///   <cycle> link <node-id> <dim>
+  /// Blank lines and lines starting with '#' are ignored. Throws
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultSchedule parse(std::istream& in);
+  [[nodiscard]] static FaultSchedule from_file(const std::string& path);
+
+ private:
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace gcube

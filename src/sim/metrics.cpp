@@ -1,5 +1,6 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -16,12 +17,19 @@ void LatencyHistogram::record(Cycle latency) noexcept {
 
 Cycle LatencyHistogram::percentile(double q) const {
   if (total_ == 0) return 0;
-  const auto threshold = static_cast<std::uint64_t>(
-      q * static_cast<double>(total_) + 0.5);
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the delivery that must be covered: ceil(q * total), clamped to
+  // [1, total]. rank >= 1 keeps q = 0 from landing in an empty bucket 0,
+  // and the ceiling (instead of +0.5 rounding) keeps q = 1.0 from
+  // overshooting past the last nonempty bucket.
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(total_))),
+      1, total_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += counts_[i];
-    if (seen >= threshold) {
+    if (seen >= rank) {
       return (Cycle{1} << (i + 1)) - 1;  // upper edge of bucket i
     }
   }

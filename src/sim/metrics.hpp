@@ -31,7 +31,8 @@ class LatencyHistogram {
   }
 
   /// Latency below which fraction q of deliveries fall (upper bucket edge;
-  /// q in [0, 1]). Returns 0 when empty.
+  /// q clamped to [0, 1]). p0 is the first nonempty bucket's edge, p100 the
+  /// last nonempty bucket's edge. Returns 0 when empty.
   [[nodiscard]] Cycle percentile(double q) const;
 
  private:
@@ -41,9 +42,14 @@ class LatencyHistogram {
 
 struct SimMetrics {
   Cycle measured_cycles = 0;
+  /// Offered load: every packet a source wanted to inject, *including*
+  /// buffer-blocked injections (which are also counted in
+  /// injections_blocked). delivered/generated is therefore the
+  /// offered-load delivery ratio under any buffer_limit; use accepted()
+  /// for the count that actually entered the network.
   std::uint64_t generated = 0;
   std::uint64_t delivered = 0;       // DP
-  std::uint64_t dropped = 0;         // planner failures (should stay 0)
+  std::uint64_t dropped = 0;         // planner failures at injection time
   std::uint64_t total_latency = 0;   // LP, cycles
   std::uint64_t total_hops = 0;      // over delivered packets
   std::uint64_t service_ops = 0;     // per-node packet handling operations
@@ -51,6 +57,13 @@ struct SimMetrics {
   std::uint64_t injections_blocked = 0;  // finite buffers: source was full
   std::uint64_t stalled_cycles = 0;  // cycles with traffic but no movement
   bool deadlocked = false;           // sustained global stall detected
+  // Dynamic-fault mode (sim/fault_schedule.hpp) degradation accounting;
+  // all zero in static-fault runs.
+  std::uint64_t fault_events = 0;    // schedule events applied (measured)
+  std::uint64_t reroutes = 0;        // planned next link died; re-planned
+  std::uint64_t dropped_en_route = 0;  // no usable continuation after a
+                                       // mid-flight fault (or hop limit)
+  std::uint64_t orphaned_by_node_fault = 0;  // queued at a node that died
   LatencyHistogram latency_histogram;
 
   [[nodiscard]] double avg_latency() const {
@@ -64,6 +77,17 @@ struct SimMetrics {
                ? 0.0
                : static_cast<double>(total_hops) /
                      static_cast<double>(delivered);
+  }
+  /// Packets that actually entered the network (offered minus blocked).
+  [[nodiscard]] std::uint64_t accepted() const {
+    return generated - injections_blocked;
+  }
+  /// Delivered fraction of the offered load — the degradation headline of
+  /// the dynamic-fault studies.
+  [[nodiscard]] double delivery_ratio() const {
+    return generated == 0 ? 0.0
+                          : static_cast<double>(delivered) /
+                                static_cast<double>(generated);
   }
   /// DP / PT with PT = measured cycles (packets per cycle).
   [[nodiscard]] double throughput() const {

@@ -18,7 +18,9 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
       rng_(config.seed),
       queues_(topo.node_count()),
       staged_(topo.node_count()),
-      link_busy_(topo.node_count() * topo.dims(), 0) {
+      link_busy_(topo.node_count() * topo.dims(), 0),
+      hop_limit_(config.reroute_hop_limit != 0 ? config.reroute_hop_limit
+                                               : 16 * topo.dims() + 64) {
   GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
   GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
 }
@@ -36,9 +38,60 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
       rng_(config.seed),
       queues_(topo.node_count()),
       staged_(topo.node_count()),
-      link_busy_(topo.node_count() * topo.dims(), 0) {
+      link_busy_(topo.node_count() * topo.dims(), 0),
+      hop_limit_(config.reroute_hop_limit != 0 ? config.reroute_hop_limit
+                                               : 16 * topo.dims() + 64) {
   GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
   GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
+}
+
+NetworkSim::NetworkSim(const Topology& topo, const Router& router,
+                       FaultSet& faults, const SimConfig& config,
+                       const FaultSchedule& schedule)
+    : NetworkSim(topo, router, static_cast<const FaultSet&>(faults), config) {
+  attach_schedule(faults, schedule);
+}
+
+NetworkSim::NetworkSim(const Topology& topo, const Router& router,
+                       FaultSet& faults, const SimConfig& config,
+                       const TrafficModel& traffic,
+                       const FaultSchedule& schedule)
+    : NetworkSim(topo, router, static_cast<const FaultSet&>(faults), config,
+                 traffic) {
+  attach_schedule(faults, schedule);
+}
+
+void NetworkSim::attach_schedule(FaultSet& faults,
+                                 const FaultSchedule& schedule) {
+  for (const FaultEvent& e : schedule.events()) {
+    GCUBE_REQUIRE(e.node < topo_.node_count(),
+                  "fault event node out of range");
+    GCUBE_REQUIRE(e.kind == FaultEvent::Kind::kNode || e.dim < topo_.dims(),
+                  "fault event dimension out of range");
+  }
+  live_faults_ = &faults;
+  schedule_events_ = schedule.events();
+}
+
+void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
+  while (next_event_ < schedule_events_.size() &&
+         schedule_events_[next_event_].cycle <= now) {
+    const FaultEvent& e = schedule_events_[next_event_++];
+    if (measuring) ++metrics_.fault_events;
+    if (e.kind == FaultEvent::Kind::kLink) {
+      live_faults_->fail_link(e.node, e.dim);
+      continue;
+    }
+    live_faults_->fail_node(e.node);
+    // Packets sitting at the dead node are lost with it.
+    const std::size_t lost = occupancy(e.node);
+    if (lost > 0) {
+      queues_[e.node].clear();
+      staged_[e.node].clear();
+      in_flight_ -= lost;
+      if (measuring) metrics_.orphaned_by_node_fault += lost;
+    }
+  }
 }
 
 void NetworkSim::inject(Cycle now, bool measuring) {
@@ -46,12 +99,16 @@ void NetworkSim::inject(Cycle now, bool measuring) {
   for (std::uint64_t u64 = 0; u64 < nodes; ++u64) {
     const auto u = static_cast<NodeId>(u64);
     if (!traffic_.eligible(u) || !traffic_.should_inject(u, rng_)) continue;
+    // The destination draw happens before the buffer check so that offered
+    // load (`generated`, and the RNG stream behind it) is identical across
+    // buffer_limit settings; a blocked injection differs only in being
+    // counted in injections_blocked instead of entering the network.
+    const NodeId dst = traffic_.pick_destination(u, rng_);
+    if (measuring) ++metrics_.generated;
     if (config_.buffer_limit != 0 && occupancy(u) >= config_.buffer_limit) {
       if (measuring) ++metrics_.injections_blocked;
       continue;
     }
-    const NodeId dst = traffic_.pick_destination(u, rng_);
-    if (measuring) ++metrics_.generated;
     RoutingResult planned = router_.plan(u, dst);
     if (!planned.delivered()) {
       if (measuring) ++metrics_.dropped;
@@ -81,7 +138,15 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
     for (std::uint32_t served = 0;
          served < config_.service_rate && !queue.empty(); ++served) {
       Packet& p = queue.front();
-      if (p.at_destination()) {
+      // An adaptive packet no longer carries a complete route, so arrival
+      // is detected positionally; a planned packet arrives exactly when
+      // its route is consumed (the planner guarantees it ends at dst).
+      const bool arrived = p.adaptive ? u == p.dst : p.at_destination();
+      if (arrived) {
+        NodeId replay = p.src;
+        for (const Dim h : p.hops) replay = flip_bit(replay, h);
+        GCUBE_REQUIRE(replay == p.dst,
+                      "delivered packet's recorded path must end at dst");
         if (measuring) {
           ++metrics_.delivered;
           metrics_.total_latency += now - p.created;
@@ -94,7 +159,44 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
         moved = true;
         continue;
       }
-      const Dim c = p.hops[p.next_hop];
+      // A dropped packet leaves the network for good; dropping counts as
+      // progress for the stall detector.
+      const auto drop = [&]() {
+        if (measuring) ++metrics_.dropped_en_route;
+        --in_flight_;
+        queue.pop_front();
+        moved = true;
+      };
+      Dim c;
+      if (p.adaptive) {
+        if (p.next_hop >= hop_limit_) {
+          drop();  // livelock guard: stepwise re-plans cycled
+          continue;
+        }
+        const std::optional<Dim> nh = router_.next_hop(u, p.dst);
+        if (!nh || !topo_.has_link(u, *nh) ||
+            !faults_.link_usable(u, *nh)) {
+          drop();  // no usable continuation (dst dead or region cut off)
+          continue;
+        }
+        c = *nh;
+      } else {
+        c = p.hops[p.next_hop];
+        if (!topo_.has_link(u, c) || !faults_.link_usable(u, c)) {
+          // The precomputed next link died under the packet: re-plan from
+          // here with current fault knowledge instead of traversing it.
+          if (measuring) ++metrics_.reroutes;
+          p.adaptive = true;
+          p.hops.resize(p.next_hop);
+          const std::optional<Dim> nh = router_.next_hop(u, p.dst);
+          if (!nh || !topo_.has_link(u, *nh) ||
+              !faults_.link_usable(u, *nh)) {
+            drop();
+            continue;
+          }
+          c = *nh;
+        }
+      }
       auto& stamp = link_busy_[u64 * n + c];
       if (stamp == now + 1) break;  // link busy: head-of-line blocking
       const NodeId v = flip_bit(u, c);
@@ -104,6 +206,7 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
       }
       stamp = now + 1;
       if (measuring) ++metrics_.service_ops;
+      if (p.adaptive) p.hops.push_back(c);
       ++p.next_hop;
       staged_[v].push_back(std::move(p));
       queue.pop_front();
@@ -121,6 +224,7 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
 SimMetrics NetworkSim::run() {
   metrics_ = SimMetrics{};
   metrics_.measured_cycles = config_.measure_cycles;
+  next_event_ = 0;
   const Cycle total = config_.warmup_cycles + config_.measure_cycles;
   // With finite buffers a sustained global stall (packets in flight, none
   // moving) is a deadlock: declared after this many consecutive cycles.
@@ -128,6 +232,7 @@ SimMetrics NetworkSim::run() {
   Cycle consecutive_stalls = 0;
   for (Cycle now = 0; now < total; ++now) {
     const bool measuring = now >= config_.warmup_cycles;
+    apply_fault_events(now, measuring);
     inject(now, measuring);
     const bool moved = forward(now, measuring);
     if (!moved && in_flight_ > 0) {

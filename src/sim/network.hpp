@@ -6,9 +6,21 @@
 //  * eager readership: each node can serve several packets per cycle
 //    (service_rate > expected arrivals), so service outpaces arrival;
 //  * source routing: a packet carries its dimension sequence, planned by
-//    the Router at injection (faults are static for a run);
+//    the Router at injection;
 //  * FIFO input queue per node with head-of-line blocking on a busy link;
 //  * faulty nodes neither inject nor forward, and routes avoid them.
+//
+// Fault dynamics. In the default static mode the fault set is frozen
+// before cycle 0 and routes are valid for the whole run. Dynamic-fault
+// mode (the FaultSchedule constructors) models the paper's actual
+// operating regime — faults that appear while packets are in flight: the
+// schedule mutates the live FaultSet as the clock advances, every hop is
+// verified usable at traversal time, and a packet whose precomputed next
+// link just died re-plans from its current node via Router::next_hop
+// (counted in SimMetrics::reroutes; packets with no usable continuation
+// are dropped_en_route, packets queued at a dying node are
+// orphaned_by_node_fault). With an empty schedule dynamic mode is
+// bit-for-bit identical to static mode.
 //
 // Determinism: one seeded RNG drives injection and destination choice;
 // nodes are processed in ascending order; identical seeds give identical
@@ -20,6 +32,7 @@
 
 #include "fault/fault_set.hpp"
 #include "routing/router.hpp"
+#include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/traffic.hpp"
@@ -41,6 +54,10 @@ struct SimConfig {
   /// the regime where channel-dependency cycles (routing/deadlock.hpp)
   /// become observable.
   std::uint32_t buffer_limit = 0;
+  /// Dynamic-fault mode livelock guard: an adaptively re-routed packet
+  /// that has taken this many hops is dropped (stepwise re-plans are not
+  /// guaranteed monotone under faults). 0 = auto (16 * dims + 64).
+  std::uint32_t reroute_hop_limit = 0;
 };
 
 class NetworkSim {
@@ -54,12 +71,26 @@ class NetworkSim {
              const FaultSet& faults, const SimConfig& config,
              const TrafficModel& traffic);
 
+  /// Dynamic-fault mode: `faults` is mutated in place as `schedule` events
+  /// fall due, so it must be the same object the router (and any traffic
+  /// model) consults. Events are validated against the topology.
+  NetworkSim(const Topology& topo, const Router& router, FaultSet& faults,
+             const SimConfig& config, const FaultSchedule& schedule);
+  NetworkSim(const Topology& topo, const Router& router, FaultSet& faults,
+             const SimConfig& config, const TrafficModel& traffic,
+             const FaultSchedule& schedule);
+
   /// Runs warmup + measurement and returns the measurement-window metrics.
   [[nodiscard]] SimMetrics run();
 
  private:
+  void attach_schedule(FaultSet& faults, const FaultSchedule& schedule);
+  /// Applies every schedule event due at `now` and orphans packets queued
+  /// at nodes that just died.
+  void apply_fault_events(Cycle now, bool measuring);
   void inject(Cycle now, bool measuring);
-  /// Returns true iff any packet moved or was delivered this cycle.
+  /// Returns true iff any packet moved, was delivered, or was dropped this
+  /// cycle.
   bool forward(Cycle now, bool measuring);
   [[nodiscard]] std::size_t occupancy(NodeId u) const {
     return queues_[u].size() + staged_[u].size();
@@ -78,6 +109,11 @@ class NetworkSim {
   SimMetrics metrics_;
   std::uint64_t next_packet_id_ = 0;
   std::uint64_t in_flight_ = 0;
+  // Dynamic-fault mode state (live_faults_ == nullptr in static mode).
+  FaultSet* live_faults_ = nullptr;
+  std::vector<FaultEvent> schedule_events_;  // sorted by cycle
+  std::size_t next_event_ = 0;
+  std::uint32_t hop_limit_ = 0;
 };
 
 }  // namespace gcube

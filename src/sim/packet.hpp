@@ -16,9 +16,14 @@ struct Packet {
   NodeId dst = 0;
   Cycle created = 0;
   /// Source route: dimensions to cross, planned at injection (the paper's
-  /// O(n) header).
+  /// O(n) header). Always records the path actually traversed: an adaptive
+  /// packet's abandoned tail is truncated and each online hop is appended
+  /// as it is taken.
   std::vector<Dim> hops;
-  std::uint32_t next_hop = 0;  // index into hops
+  std::uint32_t next_hop = 0;  // index into hops == hops already taken
+  /// Set when a mid-flight fault invalidated the precomputed route; from
+  /// then on the packet is steered hop by hop via Router::next_hop.
+  bool adaptive = false;
 
   [[nodiscard]] bool at_destination() const noexcept {
     return next_hop == hops.size();

@@ -4,6 +4,7 @@
 
 #include "fault/fault_set.hpp"
 #include "fault/preconditions.hpp"
+#include "routing/ecube.hpp"
 #include "routing/ffgcr.hpp"
 #include "routing/ftgcr.hpp"
 #include "topology/gaussian_cube.hpp"
@@ -35,24 +36,66 @@ FaultSet draw_fault_pattern(const GaussianCube& gc, std::size_t count,
 }  // namespace
 
 GcSimOutcome run_gc_simulation(const GcSimSpec& spec) {
+  GCUBE_REQUIRE(spec.fault_rate >= 0.0 && spec.fault_rate <= 1.0,
+                "fault_rate must be a probability");
   const GaussianCube gc(spec.n, spec.modulus);
   FaultSet faults;
   if (spec.faulty_nodes > 0) {
     faults = draw_fault_pattern(gc, spec.faulty_nodes, spec.fault_seed);
   }
-  std::unique_ptr<Router> router;
-  if (faults.empty()) {
-    router = std::make_unique<FfgcrRouter>(gc);
-  } else {
-    router = std::make_unique<FtgcrRouter>(gc, faults);
+  // Assemble the dynamic schedule: explicit events plus random arrivals.
+  FaultSchedule schedule = spec.schedule;
+  if (spec.fault_rate > 0.0) {
+    const std::size_t cap = spec.max_dynamic_faults != 0
+                                ? spec.max_dynamic_faults
+                                : static_cast<std::size_t>(
+                                      gc.node_count() / 8);
+    const Cycle horizon =
+        spec.sim.warmup_cycles + spec.sim.measure_cycles;
+    const FaultSchedule random = FaultSchedule::random_node_faults(
+        gc.node_count(), spec.fault_rate, horizon,
+        spec.fault_seed ^ 0x9e3779b97f4a7c15ULL, cap);
+    for (const FaultEvent& e : random.events()) {
+      schedule.fail_node_at(e.cycle, e.node);
+    }
   }
+  const bool dynamic = !schedule.empty();
+
+  std::unique_ptr<Router> router;
+  switch (spec.router) {
+    case SimRouterKind::kAuto:
+      if (faults.empty() && !dynamic) {
+        router = std::make_unique<FfgcrRouter>(gc);
+      } else {
+        router = std::make_unique<FtgcrRouter>(gc, faults);
+      }
+      break;
+    case SimRouterKind::kFfgcr:
+      router = std::make_unique<FfgcrRouter>(gc);
+      break;
+    case SimRouterKind::kFtgcr:
+      router = std::make_unique<FtgcrRouter>(gc, faults);
+      break;
+    case SimRouterKind::kEcube:
+      GCUBE_REQUIRE(spec.modulus == 1,
+                    "e-cube needs the full hypercube GC(n, 1)");
+      router = std::make_unique<EcubeRouter>(gc);
+      break;
+  }
+
   const PatternTraffic traffic(spec.n, spec.sim.injection_rate, faults,
                                spec.sim.seed, spec.pattern, spec.hot_node,
                                spec.hotspot_fraction);
-  NetworkSim sim(gc, *router, faults, spec.sim, traffic);
   GcSimOutcome outcome;
-  outcome.metrics = sim.run();
   outcome.faults_injected = faults.node_fault_count();
+  outcome.fault_events_scheduled = schedule.size();
+  if (dynamic) {
+    NetworkSim sim(gc, *router, faults, spec.sim, traffic, schedule);
+    outcome.metrics = sim.run();
+  } else {
+    NetworkSim sim(gc, *router, faults, spec.sim, traffic);
+    outcome.metrics = sim.run();
+  }
   return outcome;
 }
 

@@ -2,16 +2,29 @@
 // pattern that satisfies the FTGCR precondition, picks the matching router
 // (FFGCR when fault-free, FTGCR otherwise), runs the simulator, and returns
 // the metrics. One call is one cell of a paper figure.
+//
+// Dynamic-fault cells add mid-run fault arrivals: an explicit FaultSchedule
+// and/or random node-fault arrivals at `fault_rate` per cycle. Those runs
+// always use a fault-aware router (unless overridden) and exercise the
+// simulator's per-hop adaptive re-routing.
 #pragma once
 
 #include <cstdint>
 
+#include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/traffic.hpp"
 #include "util/bits.hpp"
 
 namespace gcube {
+
+enum class SimRouterKind {
+  kAuto,   // FFGCR when no faults anywhere, FTGCR otherwise
+  kFfgcr,  // fault-blind strategy (baseline under dynamic faults)
+  kFtgcr,  // the paper's fault-tolerant strategy
+  kEcube,  // dimension-ordered baseline; requires modulus == 1
+};
 
 struct GcSimSpec {
   Dim n = 8;
@@ -21,12 +34,22 @@ struct GcSimSpec {
   TrafficPattern pattern = TrafficPattern::kUniform;
   NodeId hot_node = 0;           // kHotspot only
   double hotspot_fraction = 0.2;  // kHotspot only
+  SimRouterKind router = SimRouterKind::kAuto;
+  /// Mid-run fault arrivals (dynamic-fault mode when nonempty or
+  /// fault_rate > 0). Events apply on top of the static `faulty_nodes`.
+  FaultSchedule schedule;
+  /// Probability per cycle of one random node-fault arrival over the whole
+  /// run (seeded from fault_seed); 0 disables generation.
+  double fault_rate = 0.0;
+  /// Cap on generated random arrivals (0 = node_count / 8).
+  std::size_t max_dynamic_faults = 0;
   SimConfig sim;
 };
 
 struct GcSimOutcome {
   SimMetrics metrics;
-  std::size_t faults_injected = 0;
+  std::size_t faults_injected = 0;      // static, before cycle 0
+  std::size_t fault_events_scheduled = 0;  // dynamic, total in the schedule
 };
 
 /// Runs one simulation cell. Throws if a precondition-satisfying fault

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace gcube {
 
@@ -19,5 +20,17 @@ namespace gcube {
 void parallel_for_index(std::size_t count,
                         const std::function<void(std::size_t)>& fn,
                         unsigned max_threads = 0);
+
+/// Maps fn over [0, count) in parallel and collects the results by index —
+/// the common "one simulation cell per figure row" shape. fn must be
+/// default-constructible-result and safe to call concurrently.
+template <typename Fn>
+auto parallel_map(std::size_t count, Fn&& fn, unsigned max_threads = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> results(count);
+  parallel_for_index(
+      count, [&](std::size_t i) { results[i] = fn(i); }, max_threads);
+  return results;
+}
 
 }  // namespace gcube

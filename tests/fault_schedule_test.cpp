@@ -1,0 +1,90 @@
+// FaultSchedule tests: ordering, the file format, and the random-arrival
+// generator's determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/fault_schedule.hpp"
+
+namespace gcube {
+namespace {
+
+TEST(FaultSchedule, EventsSortedStablyByCycle) {
+  FaultSchedule s;
+  s.fail_node_at(50, 1);
+  s.fail_link_at(10, 2, 3);
+  s.fail_node_at(10, 4);
+  s.fail_node_at(0, 5);
+  const auto& events = s.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].cycle, 0u);
+  EXPECT_EQ(events[0].node, 5u);
+  // Same-cycle events keep insertion order: link(2,3) before node(4).
+  EXPECT_EQ(events[1].cycle, 10u);
+  EXPECT_EQ(events[1].kind, FaultEvent::Kind::kLink);
+  EXPECT_EQ(events[1].node, 2u);
+  EXPECT_EQ(events[1].dim, 3u);
+  EXPECT_EQ(events[2].cycle, 10u);
+  EXPECT_EQ(events[2].kind, FaultEvent::Kind::kNode);
+  EXPECT_EQ(events[2].node, 4u);
+  EXPECT_EQ(events[3].cycle, 50u);
+}
+
+TEST(FaultSchedule, ParsesTheDocumentedFormat) {
+  std::istringstream in(
+      "# dynamic faults for the demo\n"
+      "\n"
+      "100 node 7\n"
+      "  250 link 12 3\n"
+      "250 node 9\n");
+  const FaultSchedule s = FaultSchedule::parse(in);
+  ASSERT_EQ(s.size(), 3u);
+  const auto& events = s.events();
+  EXPECT_EQ(events[0], (FaultEvent{100, FaultEvent::Kind::kNode, 7, 0}));
+  EXPECT_EQ(events[1], (FaultEvent{250, FaultEvent::Kind::kLink, 12, 3}));
+  EXPECT_EQ(events[2], (FaultEvent{250, FaultEvent::Kind::kNode, 9, 0}));
+}
+
+TEST(FaultSchedule, RejectsMalformedLines) {
+  const char* bad[] = {
+      "100 nod 7\n",        // unknown kind
+      "100 link 12\n",      // link missing dimension
+      "banana node 7\n",    // non-numeric cycle
+      "100 node 7 extra\n"  // trailing garbage
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)FaultSchedule::parse(in), std::invalid_argument)
+        << "should reject: " << text;
+  }
+}
+
+TEST(FaultSchedule, RandomArrivalsDeterministicInSeed) {
+  const auto a = FaultSchedule::random_node_faults(512, 0.01, 2000, 77, 100);
+  const auto b = FaultSchedule::random_node_faults(512, 0.01, 2000, 77, 100);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_GT(a.size(), 0u);  // 2000 cycles at 1% — arrivals all but certain
+  const auto c = FaultSchedule::random_node_faults(512, 0.01, 2000, 78, 100);
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(FaultSchedule, RandomArrivalsRespectCapAndDistinctness) {
+  const auto s = FaultSchedule::random_node_faults(64, 0.5, 4000, 5, 10);
+  EXPECT_LE(s.size(), 10u);
+  std::set<NodeId> victims;
+  for (const auto& e : s.events()) {
+    EXPECT_EQ(e.kind, FaultEvent::Kind::kNode);
+    EXPECT_LT(e.node, 64u);
+    EXPECT_TRUE(victims.insert(e.node).second) << "victims must be distinct";
+  }
+}
+
+TEST(FaultSchedule, ZeroRateGeneratesNothing) {
+  EXPECT_TRUE(
+      FaultSchedule::random_node_faults(64, 0.0, 4000, 5, 10).empty());
+}
+
+}  // namespace
+}  // namespace gcube

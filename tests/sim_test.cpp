@@ -1,5 +1,5 @@
 // Simulator tests: determinism, conservation, queueing sanity, traffic,
-// metrics arithmetic, and the parallel sweep helper.
+// metrics arithmetic, dynamic-fault mode, and the parallel sweep helper.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "fault/fault_set.hpp"
+#include "routing/ecube.hpp"
 #include "routing/ffgcr.hpp"
 #include "routing/ftgcr.hpp"
+#include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/runner.hpp"
@@ -192,6 +194,150 @@ TEST(NetworkSim, TinyBuffersUnderSaturationDeadlock) {
   EXPECT_GT(m.injections_blocked, 0u);
 }
 
+// --- Dynamic-fault mode -------------------------------------------------
+
+void expect_same_metrics(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+  EXPECT_EQ(a.service_ops, b.service_ops);
+  EXPECT_EQ(a.peak_in_flight, b.peak_in_flight);
+  EXPECT_EQ(a.injections_blocked, b.injections_blocked);
+  EXPECT_EQ(a.stalled_cycles, b.stalled_cycles);
+  EXPECT_EQ(a.deadlocked, b.deadlocked);
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.latency_histogram.bucket(i), b.latency_histogram.bucket(i));
+  }
+}
+
+TEST(DynamicFaults, EmptyScheduleReproducesStaticModeBitForBit) {
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet static_faults;
+  const SimMetrics baseline =
+      NetworkSim(gc, router, static_faults, quick_config()).run();
+  FaultSet live;
+  const FaultSchedule empty;
+  const SimMetrics dynamic =
+      NetworkSim(gc, router, live, quick_config(), empty).run();
+  expect_same_metrics(baseline, dynamic);
+  EXPECT_EQ(dynamic.fault_events, 0u);
+  EXPECT_EQ(dynamic.reroutes, 0u);
+  EXPECT_EQ(dynamic.dropped_en_route, 0u);
+  EXPECT_EQ(dynamic.orphaned_by_node_fault, 0u);
+}
+
+TEST(DynamicFaults, EmptyScheduleMatchesStaticUnderStaticFaults) {
+  // Same equivalence with a preexisting static fault pattern in place.
+  const GaussianCube gc(6, 2);
+  FaultSet faults;
+  faults.fail_node(9);
+  const FtgcrRouter router(gc, faults);
+  const SimMetrics baseline =
+      NetworkSim(gc, router, faults, quick_config()).run();
+  const FaultSchedule empty;
+  const SimMetrics dynamic =
+      NetworkSim(gc, router, faults, quick_config(), empty).run();
+  expect_same_metrics(baseline, dynamic);
+}
+
+TEST(DynamicFaults, MidRunNodeFaultOrphansAndReroutes) {
+  const GaussianCube gc(7, 1);  // full hypercube: every detour available
+  FaultSet faults;
+  const FtgcrRouter router(gc, faults);
+  FaultSchedule schedule;
+  // Several node deaths spread across the measurement window; heavy-ish
+  // load so each death catches packets in flight.
+  schedule.fail_node_at(80, 3);
+  schedule.fail_node_at(150, 77);
+  schedule.fail_node_at(220, 101);
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.10;
+  const SimMetrics m = NetworkSim(gc, router, faults, cfg, schedule).run();
+  EXPECT_EQ(m.fault_events, 3u);
+  EXPECT_EQ(faults.node_fault_count(), 3u) << "schedule mutates the live set";
+  EXPECT_GT(m.delivered, 0u);
+  EXPECT_GT(m.reroutes, 0u) << "in-flight packets must notice dead links";
+}
+
+TEST(DynamicFaults, DeliveredPathsAreFaultFreeAtTraversalTime) {
+  // The simulator GCUBE_REQUIREs that every delivered packet's recorded
+  // path replays from src to dst, and refuses to traverse unusable links;
+  // a run with many mid-flight faults exercising both is the regression.
+  const GaussianCube gc(7, 2);
+  FaultSet faults;
+  const FtgcrRouter router(gc, faults);
+  const FaultSchedule schedule =
+      FaultSchedule::random_node_faults(gc.node_count(), 0.01, 350, 21, 12);
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.08;
+  const SimMetrics m = NetworkSim(gc, router, faults, cfg, schedule).run();
+  EXPECT_GT(m.delivered, 0u);
+  EXPECT_GT(m.fault_events, 0u);
+}
+
+TEST(DynamicFaults, FtgcrDegradesMoreGracefullyThanEcube) {
+  // The tentpole acceptance claim, in miniature: same mid-run fault
+  // arrivals, same traffic seed; FTGCR re-routes around discovered faults
+  // while fault-blind e-cube drops every packet whose path died.
+  GcSimSpec spec;
+  spec.n = 7;
+  spec.modulus = 1;
+  spec.fault_rate = 0.01;
+  spec.fault_seed = 17;
+  spec.sim = quick_config();
+  spec.sim.injection_rate = 0.05;
+  spec.router = SimRouterKind::kFtgcr;
+  const GcSimOutcome ft = run_gc_simulation(spec);
+  spec.router = SimRouterKind::kEcube;
+  const GcSimOutcome ec = run_gc_simulation(spec);
+  ASSERT_EQ(ft.fault_events_scheduled, ec.fault_events_scheduled);
+  EXPECT_GT(ft.metrics.fault_events, 0u);
+  EXPECT_GT(ft.metrics.delivery_ratio(), ec.metrics.delivery_ratio());
+  EXPECT_LT(ft.metrics.dropped_en_route, ec.metrics.dropped_en_route);
+}
+
+TEST(DynamicFaults, RejectsOutOfRangeEvents) {
+  const GaussianCube gc(6, 2);
+  FaultSet faults;
+  const FtgcrRouter router(gc, faults);
+  FaultSchedule bad_node;
+  bad_node.fail_node_at(10, 1u << 10);
+  EXPECT_THROW(NetworkSim(gc, router, faults, quick_config(), bad_node),
+               std::invalid_argument);
+  FaultSchedule bad_dim;
+  bad_dim.fail_link_at(10, 1, 9);
+  EXPECT_THROW(NetworkSim(gc, router, faults, quick_config(), bad_dim),
+               std::invalid_argument);
+}
+
+TEST(Metrics, OfferedLoadConsistentAcrossBufferLimits) {
+  // `generated` counts offered load — including buffer-blocked injections
+  // — so the delivery-ratio denominator is the same in finite- and
+  // infinite-buffer runs with the same seed.
+  const GaussianCube gc(7, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  // Load high enough that transient bursts fill a 4-slot buffer and block
+  // some injections, but low enough that the run never deadlocks (a
+  // deadlocked run ends early and covers a shorter window).
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.12;
+  SimConfig tiny = cfg;
+  tiny.buffer_limit = 4;
+  const SimMetrics unbounded = NetworkSim(gc, router, none, cfg).run();
+  const SimMetrics bounded = NetworkSim(gc, router, none, tiny).run();
+  ASSERT_FALSE(bounded.deadlocked);
+  EXPECT_GT(bounded.injections_blocked, 0u);
+  EXPECT_EQ(bounded.generated, unbounded.generated)
+      << "offered load must not depend on buffer_limit";
+  EXPECT_EQ(bounded.accepted(),
+            bounded.generated - bounded.injections_blocked);
+  EXPECT_EQ(unbounded.accepted(), unbounded.generated);
+}
+
 TEST(LatencyHistogram, BucketsAndPercentiles) {
   LatencyHistogram h;
   EXPECT_EQ(h.percentile(0.5), 0u);  // empty
@@ -209,6 +355,31 @@ TEST(LatencyHistogram, BucketsAndPercentiles) {
   EXPECT_EQ(h.percentile(1.0), 1023u);
   // Percentiles are monotone in q.
   EXPECT_LE(h.percentile(0.1), h.percentile(0.9));
+}
+
+TEST(LatencyHistogram, PercentileEdgesAndClamping) {
+  // All mass far from bucket 0: p0 must report the first *nonempty*
+  // bucket's edge, not bucket 0's, and p100 the last nonempty bucket's.
+  LatencyHistogram h;
+  for (int i = 0; i < 5; ++i) h.record(100);  // bucket 6: [64, 128)
+  h.record(1000);                             // bucket 9: [512, 1024)
+  EXPECT_EQ(h.percentile(0.0), 127u);
+  EXPECT_EQ(h.percentile(0.5), 127u);
+  EXPECT_EQ(h.percentile(1.0), 1023u);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+  // q just under a bucket boundary must not round up past it: 5 of 6
+  // deliveries are in bucket 6, so p83 (rank ceil(0.83*6) = 5) stays there.
+  EXPECT_EQ(h.percentile(0.83), 127u);
+}
+
+TEST(LatencyHistogram, SinglePacketAllPercentilesAgree) {
+  LatencyHistogram h;
+  h.record(7);  // bucket 2: [4, 8)
+  EXPECT_EQ(h.percentile(0.0), 7u);
+  EXPECT_EQ(h.percentile(0.5), 7u);
+  EXPECT_EQ(h.percentile(1.0), 7u);
 }
 
 TEST(LatencyHistogram, SimulationTotalsMatchDeliveries) {
