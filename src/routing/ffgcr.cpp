@@ -1,5 +1,8 @@
 #include "routing/ffgcr.hpp"
 
+#include <array>
+#include <utility>
+
 #include "routing/tree_routing.hpp"
 #include "util/error.hpp"
 
@@ -25,67 +28,98 @@ GcRoutePlan make_gc_route_plan(const GaussianCube& gc,
   return plan;
 }
 
+std::shared_ptr<const GcRoutePlan> GcItineraryCache::get(
+    const GaussianCube& gc, const GaussianTree& tree, NodeId s,
+    NodeId d) const {
+  GCUBE_REQUIRE(s < gc.node_count() && d < gc.node_count(),
+                "node out of range");
+  const std::uint64_t key = pack_node_pair(gc.ending_class(s), s ^ d);
+  if (auto hit = cache_.find(key, 0)) return *hit;
+  auto plan =
+      std::make_shared<const GcRoutePlan>(make_gc_route_plan(gc, tree, s, d));
+  cache_.insert(key, 0, plan);
+  return plan;
+}
+
 FfgcrRouter::FfgcrRouter(const GaussianCube& gc)
     : gc_(gc), tree_(gc.alpha()) {}
 
-RoutingResult FfgcrRouter::plan(NodeId s, NodeId d) const {
-  GcRoutePlan itinerary = make_gc_route_plan(gc_, tree_, s, d);
+Route FfgcrRouter::build_route(NodeId s, NodeId d) const {
+  const std::shared_ptr<const GcRoutePlan> itinerary =
+      itineraries_.get(gc_, tree_, s, d);
   Route route(s);
   NodeId cur = s;
+  // Pending masks copied to the stack (at most one entry per dimension) so
+  // first-visit consumption does not touch the shared itinerary.
+  std::array<std::pair<NodeId, NodeId>, kMaxDimension> pending;
+  std::size_t pending_count = 0;
+  for (const auto& [cls, mask] : itinerary->pending_high) {
+    pending[pending_count++] = {cls, mask};
+  }
   auto fix_high_bits = [&](NodeId cls) {
-    const auto it = itinerary.pending_high.find(cls);
-    if (it == itinerary.pending_high.end()) return;
-    NodeId mask = it->second;
-    while (mask != 0) {
-      const Dim c = lsb_index(mask);
-      mask &= mask - 1;
-      route.append(c);
-      cur = flip_bit(cur, c);
+    for (std::size_t i = 0; i < pending_count; ++i) {
+      if (pending[i].first != cls) continue;
+      NodeId mask = pending[i].second;
+      while (mask != 0) {
+        const Dim c = lsb_index(mask);
+        mask &= mask - 1;
+        route.append(c);
+        cur = flip_bit(cur, c);
+      }
+      pending[i] = pending[--pending_count];
+      return;
     }
-    itinerary.pending_high.erase(it);
   };
 
-  fix_high_bits(itinerary.class_walk.front());
-  for (std::size_t i = 1; i < itinerary.class_walk.size(); ++i) {
+  const std::vector<NodeId>& walk = itinerary->class_walk;
+  fix_high_bits(walk.front());
+  for (std::size_t i = 1; i < walk.size(); ++i) {
     // One cube hop realizes the tree edge: the dimension (< alpha) in which
     // the adjacent classes differ, present at every node of either class.
-    const Dim c =
-        lsb_index(itinerary.class_walk[i - 1] ^ itinerary.class_walk[i]);
+    const Dim c = lsb_index(walk[i - 1] ^ walk[i]);
     route.append(c);
     cur = flip_bit(cur, c);
-    fix_high_bits(itinerary.class_walk[i]);
+    fix_high_bits(walk[i]);
   }
   GCUBE_REQUIRE(cur == d, "FFGCR route must terminate at the destination");
+  return route;
+}
+
+RoutingResult FfgcrRouter::plan(NodeId s, NodeId d) const {
   RoutingResult result;
-  result.route = std::move(route);
+  result.route = *plan_shared(s, d);
   return result;
+}
+
+std::shared_ptr<const Route> FfgcrRouter::plan_shared(NodeId s,
+                                                      NodeId d) const {
+  const std::uint64_t key = pack_node_pair(s, d);
+  if (auto hit = plan_cache_.find(key, 0)) return *hit;
+  auto route = std::make_shared<const Route>(build_route(s, d));
+  plan_cache_.insert(key, 0, route);
+  return route;
 }
 
 std::optional<Dim> FfgcrRouter::next_hop(NodeId cur, NodeId dst) const {
   if (cur == dst) return std::nullopt;
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(cur) << 32) | dst;
-  {
-    const std::lock_guard<std::mutex> lock(hop_cache_mu_);
-    const auto it = hop_cache_.find(key);
-    if (it != hop_cache_.end()) return it->second;
-  }
-  const RoutingResult r = plan(cur, dst);
-  GCUBE_REQUIRE(r.delivered() && !r.route->empty(),
+  const std::uint64_t key = pack_node_pair(cur, dst);
+  if (auto hit = hop_cache_.find(key, 0)) return *hit;
+  const std::shared_ptr<const Route> route = plan_shared(cur, dst);
+  GCUBE_REQUIRE(route != nullptr && !route->empty(),
                 "FFGCR always routes between distinct nodes");
-  const Dim c = r.route->hops().front();
-  const std::lock_guard<std::mutex> lock(hop_cache_mu_);
-  hop_cache_.emplace(key, c);
+  const Dim c = route->hops().front();
+  hop_cache_.insert(key, 0, c);
   return c;
 }
 
 std::size_t FfgcrRouter::optimal_length(NodeId s, NodeId d) const {
-  const GcRoutePlan itinerary = make_gc_route_plan(gc_, tree_, s, d);
+  const std::shared_ptr<const GcRoutePlan> itinerary =
+      itineraries_.get(gc_, tree_, s, d);
   const NodeId cs = gc_.ending_class(s);
   const NodeId cd = gc_.ending_class(d);
   std::vector<NodeId> terminals{cs, cd};
   Dim high_flips = 0;
-  for (const auto& [k, mask] : itinerary.pending_high) {
+  for (const auto& [k, mask] : itinerary->pending_high) {
     terminals.push_back(k);
     high_flips += popcount(mask);
   }

@@ -15,16 +15,23 @@
 // The resulting route is optimal: every cube path must project onto a tree
 // walk covering the same classes, and must flip the same high bits.
 // Verified against BFS ground truth in the tests.
+//
+// Caching. The itinerary depends only on (class(s), s ^ d) — a key space
+// of 2^(alpha + n), far smaller than the (s, d) pair space — so itineraries
+// are memoized in a GcItineraryCache shared-ownership table and executed
+// without mutation. Full routes and stepwise next hops are memoized per
+// (s, d) in sharded open-addressed tables (util/flat_cache.hpp); FFGCR is
+// fault-blind, so its entries never go stale.
 #pragma once
 
 #include <map>
-#include <mutex>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "routing/router.hpp"
 #include "topology/gaussian_cube.hpp"
 #include "topology/gaussian_tree.hpp"
+#include "util/flat_cache.hpp"
 
 namespace gcube {
 
@@ -43,11 +50,29 @@ struct GcRoutePlan {
                                              const GaussianTree& tree,
                                              NodeId s, NodeId d);
 
+/// Memoized itineraries, keyed on (class(s), s ^ d) — the pair the plan is
+/// actually a function of. Itineraries are fault-independent, so entries
+/// never expire; consumers treat them as immutable and track pending-mask
+/// consumption on their own stack.
+class GcItineraryCache {
+ public:
+  [[nodiscard]] std::shared_ptr<const GcRoutePlan> get(const GaussianCube& gc,
+                                                       const GaussianTree& tree,
+                                                       NodeId s,
+                                                       NodeId d) const;
+
+ private:
+  mutable ShardedVersionCache<std::shared_ptr<const GcRoutePlan>> cache_;
+};
+
 class FfgcrRouter final : public Router {
  public:
   explicit FfgcrRouter(const GaussianCube& gc);
 
   [[nodiscard]] RoutingResult plan(NodeId s, NodeId d) const override;
+  /// Memoized shared route; FFGCR never fails, so the result is non-null.
+  [[nodiscard]] std::shared_ptr<const Route> plan_shared(
+      NodeId s, NodeId d) const override;
   /// Memoized stepwise plan. FFGCR is fault-blind, so entries never go
   /// stale; routes are optimal, so first-hop iteration strictly shrinks the
   /// remaining distance and always terminates at dst.
@@ -64,10 +89,13 @@ class FfgcrRouter final : public Router {
   }
 
  private:
+  [[nodiscard]] Route build_route(NodeId s, NodeId d) const;
+
   const GaussianCube& gc_;
   GaussianTree tree_;
-  mutable std::mutex hop_cache_mu_;
-  mutable std::unordered_map<std::uint64_t, Dim> hop_cache_;
+  mutable GcItineraryCache itineraries_;
+  mutable ShardedVersionCache<std::shared_ptr<const Route>> plan_cache_;
+  mutable ShardedVersionCache<Dim> hop_cache_;
 };
 
 }  // namespace gcube

@@ -1,10 +1,11 @@
 #include "routing/ftgcr.hpp"
 
+#include <array>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "routing/eh_embedding.hpp"
-#include "routing/ffgcr.hpp"
 #include "routing/freh.hpp"
 #include "routing/hypercube_ft.hpp"
 #include "util/error.hpp"
@@ -58,6 +59,83 @@ std::optional<std::vector<Dim>> global_bfs(const GaussianCube& gc,
 
 }  // namespace
 
+std::optional<Route> FtgcrRouter::fault_free_route_if_clean(
+    NodeId s, NodeId d) const {
+  const std::shared_ptr<const GcRoutePlan> itinerary =
+      itineraries_.get(gc_, tree_, s, d);
+  Route route(s);
+  NodeId cur = s;
+  bool clean = true;
+  // Mirrors the traversal below with all fault branches collapsed to a
+  // single usability check per hop: in-class fixes flip pending bits
+  // lsb-first (informed_subcube_route's direct path), crossings take the
+  // tree-edge dimension, and an already-satisfied leaf detour is skipped —
+  // so a clean result is hop-for-hop what the full machinery would emit.
+  auto append_checked = [&](Dim c) {
+    if (!faults_.link_usable(cur, c)) {
+      clean = false;
+      return false;
+    }
+    route.append(c);
+    cur = flip_bit(cur, c);
+    return true;
+  };
+  auto fix_bits = [&](NodeId mask) {
+    for (NodeId m = mask; m != 0; m &= m - 1) {
+      if (!append_checked(lsb_index(m))) return false;
+    }
+    return true;
+  };
+  // Pending masks copied to the stack; consumption must not touch the
+  // shared itinerary.
+  std::array<std::pair<NodeId, NodeId>, kMaxDimension> pending;
+  std::size_t pending_count = 0;
+  for (const auto& [cls, mask] : itinerary->pending_high) {
+    pending[pending_count++] = {cls, mask};
+  }
+  auto take_pending = [&](NodeId cls) -> NodeId {
+    for (std::size_t i = 0; i < pending_count; ++i) {
+      if (pending[i].first != cls) continue;
+      const NodeId mask = pending[i].second;
+      pending[i] = pending[--pending_count];
+      return mask;
+    }
+    return 0;
+  };
+
+  const std::vector<NodeId>& walk = itinerary->class_walk;
+  if (walk.size() == 1) {
+    if (!fix_bits(take_pending(walk.front()))) return std::nullopt;
+    GCUBE_REQUIRE(cur == d, "fault-free route must terminate at d");
+    return route;
+  }
+  for (std::size_t i = 0; i + 1 < walk.size();) {
+    const NodeId a = walk[i];
+    const NodeId b = walk[i + 1];
+    const Dim c = lsb_index(a ^ b);
+    const NodeId mask_a = take_pending(a);
+    const NodeId mask_b = take_pending(b);
+    if (!fix_bits(mask_a)) return std::nullopt;
+    const bool leaf_detour = i + 2 < walk.size() && walk[i + 2] == a;
+    if (leaf_detour) {
+      if (mask_b == 0 || ((cur ^ d) & mask_b) == 0) {
+        i += 2;  // nothing left to fix there: skip the detour entirely
+        continue;
+      }
+      if (!append_checked(c) || !fix_bits(mask_b) || !append_checked(c)) {
+        return std::nullopt;
+      }
+      i += 2;
+      continue;
+    }
+    if (!append_checked(c) || !fix_bits(mask_b)) return std::nullopt;
+    ++i;
+  }
+  if (!clean) return std::nullopt;
+  GCUBE_REQUIRE(cur == d, "fault-free route must terminate at d");
+  return route;
+}
+
 RoutingResult FtgcrRouter::plan_with_stats(NodeId s, NodeId d,
                                            FtgcrStats& stats) const {
   stats = FtgcrStats{};
@@ -71,7 +149,15 @@ RoutingResult FtgcrRouter::plan_with_stats(NodeId s, NodeId d,
     return fail("source or destination faulty");
   }
 
-  GcRoutePlan itinerary = make_gc_route_plan(gc_, tree_, s, d);
+  // Fast path: when no hop of the fault-free composite route is unusable,
+  // the full machinery below would reproduce exactly that route with zero
+  // stats — skip it. Faults are sparse, so this is the common case.
+  if (std::optional<Route> fast = fault_free_route_if_clean(s, d)) {
+    result.route = std::move(*fast);
+    return result;
+  }
+
+  GcRoutePlan itinerary = *itineraries_.get(gc_, tree_, s, d);
   Route route(s);
   NodeId cur = s;
   const auto usable = [this](NodeId u, Dim c) {
@@ -248,23 +334,31 @@ RoutingResult FtgcrRouter::plan_with_stats(NodeId s, NodeId d,
   return finish();
 }
 
+std::shared_ptr<const Route> FtgcrRouter::plan_shared(NodeId s,
+                                                      NodeId d) const {
+  const std::uint64_t key = pack_node_pair(s, d);
+  const std::uint64_t version = faults_.version();
+  if (auto hit = plan_cache_.find(key, version)) return *hit;
+  RoutingResult r = plan(s, d);
+  std::shared_ptr<const Route> route =
+      r.delivered() ? std::make_shared<const Route>(std::move(*r.route))
+                    : nullptr;
+  plan_cache_.insert(key, version, route);
+  return route;
+}
+
 std::optional<Dim> FtgcrRouter::next_hop(NodeId cur, NodeId dst) const {
   if (cur == dst) return std::nullopt;
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(cur) << 32) | dst;
-  const std::lock_guard<std::mutex> lock(hop_cache_mu_);
-  if (hop_cache_version_ != faults_.version()) {
-    hop_cache_.clear();
-    hop_cache_version_ = faults_.version();
-  }
-  const auto it = hop_cache_.find(key);
-  if (it != hop_cache_.end()) return it->second;
-  const RoutingResult r = plan(cur, dst);
-  const std::optional<Dim> hop =
-      r.delivered() && !r.route->empty()
-          ? std::optional<Dim>(r.route->hops().front())
-          : std::nullopt;
-  hop_cache_.emplace(key, hop);
+  const std::uint64_t key = pack_node_pair(cur, dst);
+  const std::uint64_t version = faults_.version();
+  if (auto hit = hop_cache_.find(key, version)) return *hit;
+  // Planning through plan_shared warms the route cache for free: a packet
+  // re-planned here and a packet injected for the same pair share work.
+  const std::shared_ptr<const Route> r = plan_shared(cur, dst);
+  const std::optional<Dim> hop = r != nullptr && !r->empty()
+                                     ? std::optional<Dim>(r->hops().front())
+                                     : std::nullopt;
+  hop_cache_.insert(key, version, hop);
   return hop;
 }
 

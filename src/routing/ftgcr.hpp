@@ -29,13 +29,14 @@
 // longer than FfgcrRouter::optimal_length when F faults are encountered.
 #pragma once
 
-#include <mutex>
-#include <unordered_map>
+#include <memory>
 
 #include "fault/fault_set.hpp"
+#include "routing/ffgcr.hpp"
 #include "routing/router.hpp"
 #include "topology/gaussian_cube.hpp"
 #include "topology/gaussian_tree.hpp"
+#include "util/flat_cache.hpp"
 
 namespace gcube {
 
@@ -60,10 +61,17 @@ class FtgcrRouter final : public Router {
   [[nodiscard]] RoutingResult plan(NodeId s, NodeId d) const override;
   [[nodiscard]] RoutingResult plan_with_stats(NodeId s, NodeId d,
                                               FtgcrStats& stats) const;
+  /// Memoized shared route keyed on (s, d) and stamped with
+  /// FaultSet::version(): a cache hit is valid only while the fault set is
+  /// unchanged, so mid-run fault arrivals force a re-plan on next use.
+  /// Failures (dst dead, cube disconnected) memoize as nullptr.
+  [[nodiscard]] std::shared_ptr<const Route> plan_shared(
+      NodeId s, NodeId d) const override;
   /// Memoized stepwise plan against the *live* fault set: entries are
-  /// keyed on (cur, dst) and the whole cache is invalidated whenever
-  /// FaultSet::version() moves, so mid-run fault arrivals are picked up on
-  /// the next hop. Failures (dst dead, cube disconnected) memoize too.
+  /// keyed on (cur, dst) and version-stamped, so a FaultSet::version()
+  /// move makes stale entries misses (no global invalidation pass) and
+  /// mid-run fault arrivals are picked up on the next hop. Failures (dst
+  /// dead, cube disconnected) memoize too.
   [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
                                             NodeId dst) const override;
   [[nodiscard]] std::string name() const override { return "FTGCR"; }
@@ -73,12 +81,19 @@ class FtgcrRouter final : public Router {
   }
 
  private:
+  /// The composite fault-free route (identical to what the Theorem-3/5
+  /// machinery emits when it encounters zero faults), or nullopt as soon
+  /// as any hop on it is unusable. The overwhelmingly common fast path:
+  /// faults are sparse, so most routes never meet one.
+  [[nodiscard]] std::optional<Route> fault_free_route_if_clean(
+      NodeId s, NodeId d) const;
+
   const GaussianCube& gc_;
   const FaultSet& faults_;
   GaussianTree tree_;
-  mutable std::mutex hop_cache_mu_;
-  mutable std::uint64_t hop_cache_version_ = ~std::uint64_t{0};
-  mutable std::unordered_map<std::uint64_t, std::optional<Dim>> hop_cache_;
+  mutable GcItineraryCache itineraries_;
+  mutable ShardedVersionCache<std::shared_ptr<const Route>> plan_cache_;
+  mutable ShardedVersionCache<std::optional<Dim>> hop_cache_;
 };
 
 }  // namespace gcube

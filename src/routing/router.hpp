@@ -14,6 +14,7 @@
 // re-plans per (cur, dst) and invalidate on FaultSet::version() changes.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -30,6 +31,19 @@ class Router {
   /// empty) when fault preconditions are violated; it must never return an
   /// invalid route.
   [[nodiscard]] virtual RoutingResult plan(NodeId s, NodeId d) const = 0;
+
+  /// Shared-ownership planning for the simulator hot path: the same route
+  /// as plan(), or nullptr when planning fails. Fault-aware routers
+  /// override this with a (src, dst)-keyed cache of immutable routes,
+  /// invalidated by FaultSet::version() stamping, so repeat planning costs
+  /// one lookup and packets can reference the route without copying its
+  /// hop vector. The default derives an uncached route from plan().
+  [[nodiscard]] virtual std::shared_ptr<const Route> plan_shared(
+      NodeId s, NodeId d) const {
+    RoutingResult r = plan(s, d);
+    if (!r.delivered()) return nullptr;
+    return std::make_shared<const Route>(std::move(*r.route));
+  }
 
   /// Stepwise interface: the dimension of the first hop of a route from
   /// cur to dst under the router's *current* fault knowledge, or nullopt

@@ -7,14 +7,15 @@
 namespace gcube {
 
 NetworkSim::NetworkSim(const Topology& topo, const Router& router,
-                       const FaultSet& faults, const SimConfig& config)
+                       const FaultSet& faults, const SimConfig& config,
+                       const TrafficModel* traffic)
     : topo_(topo),
       router_(router),
       faults_(faults),
       config_(config),
       default_traffic_(topo.node_count(), config.injection_rate, faults,
                        config.seed),
-      traffic_(default_traffic_),
+      traffic_(traffic != nullptr ? *traffic : default_traffic_),
       rng_(config.seed),
       queues_(topo.node_count()),
       staged_(topo.node_count()),
@@ -24,31 +25,21 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
   GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
   GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
 }
+
+NetworkSim::NetworkSim(const Topology& topo, const Router& router,
+                       const FaultSet& faults, const SimConfig& config)
+    : NetworkSim(topo, router, faults, config, nullptr) {}
 
 NetworkSim::NetworkSim(const Topology& topo, const Router& router,
                        const FaultSet& faults, const SimConfig& config,
                        const TrafficModel& traffic)
-    : topo_(topo),
-      router_(router),
-      faults_(faults),
-      config_(config),
-      default_traffic_(topo.node_count(), config.injection_rate, faults,
-                       config.seed),
-      traffic_(traffic),
-      rng_(config.seed),
-      queues_(topo.node_count()),
-      staged_(topo.node_count()),
-      link_busy_(topo.node_count() * topo.dims(), 0),
-      hop_limit_(config.reroute_hop_limit != 0 ? config.reroute_hop_limit
-                                               : 16 * topo.dims() + 64) {
-  GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
-  GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
-}
+    : NetworkSim(topo, router, faults, config, &traffic) {}
 
 NetworkSim::NetworkSim(const Topology& topo, const Router& router,
                        FaultSet& faults, const SimConfig& config,
                        const FaultSchedule& schedule)
-    : NetworkSim(topo, router, static_cast<const FaultSet&>(faults), config) {
+    : NetworkSim(topo, router, static_cast<const FaultSet&>(faults), config,
+                 nullptr) {
   attach_schedule(faults, schedule);
 }
 
@@ -57,20 +48,39 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
                        const TrafficModel& traffic,
                        const FaultSchedule& schedule)
     : NetworkSim(topo, router, static_cast<const FaultSet&>(faults), config,
-                 traffic) {
+                 &traffic) {
   attach_schedule(faults, schedule);
 }
 
 void NetworkSim::attach_schedule(FaultSet& faults,
                                  const FaultSchedule& schedule) {
-  for (const FaultEvent& e : schedule.events()) {
+  const std::vector<FaultEvent>& events = schedule.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
     GCUBE_REQUIRE(e.node < topo_.node_count(),
                   "fault event node out of range");
     GCUBE_REQUIRE(e.kind == FaultEvent::Kind::kNode || e.dim < topo_.dims(),
                   "fault event dimension out of range");
+    // apply_fault_events consumes the list front to back and would
+    // silently skip any event filed behind a later-cycle one.
+    GCUBE_REQUIRE(i == 0 || events[i - 1].cycle <= e.cycle,
+                  "fault schedule events must be sorted by cycle");
   }
   live_faults_ = &faults;
-  schedule_events_ = schedule.events();
+  schedule_events_ = events;
+}
+
+std::size_t NetworkSim::discard_packets_at(NodeId u) {
+  const std::size_t lost = occupancy(u);
+  while (!queues_[u].empty()) {
+    pool_.release(queues_[u].front());
+    queues_[u].pop_front();
+  }
+  while (!staged_[u].empty()) {
+    pool_.release(staged_[u].front());
+    staged_[u].pop_front();
+  }
+  return lost;
 }
 
 void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
@@ -84,10 +94,8 @@ void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
     }
     live_faults_->fail_node(e.node);
     // Packets sitting at the dead node are lost with it.
-    const std::size_t lost = occupancy(e.node);
+    const std::size_t lost = discard_packets_at(e.node);
     if (lost > 0) {
-      queues_[e.node].clear();
-      staged_[e.node].clear();
       in_flight_ -= lost;
       if (measuring) metrics_.orphaned_by_node_fault += lost;
     }
@@ -109,18 +117,23 @@ void NetworkSim::inject(Cycle now, bool measuring) {
       if (measuring) ++metrics_.injections_blocked;
       continue;
     }
-    RoutingResult planned = router_.plan(u, dst);
-    if (!planned.delivered()) {
+    std::shared_ptr<const Route> planned = router_.plan_shared(u, dst);
+    if (planned == nullptr) {
       if (measuring) ++metrics_.dropped;
       continue;
     }
-    Packet p;
+    const PacketIndex pi = pool_.acquire();
+    Packet& p = pool_[pi];
     p.id = next_packet_id_++;
     p.src = u;
     p.dst = dst;
     p.created = now;
-    p.hops = planned.route->hops();
-    queues_[u].push_back(std::move(p));
+    p.plan_len = static_cast<std::uint32_t>(planned->length());
+    p.plan = std::move(planned);
+    p.next_hop = 0;
+    p.adaptive = false;
+    p.tail.clear();
+    queues_[u].push_back(pi);
     ++in_flight_;
     metrics_.peak_in_flight = std::max(metrics_.peak_in_flight, in_flight_);
   }
@@ -134,28 +147,32 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
   // its stamp is older than now + 1 (stamps store now + 1 to keep 0 free).
   for (std::uint64_t u64 = 0; u64 < nodes; ++u64) {
     const auto u = static_cast<NodeId>(u64);
-    auto& queue = queues_[u];
+    IndexRing& queue = queues_[u];
     for (std::uint32_t served = 0;
          served < config_.service_rate && !queue.empty(); ++served) {
-      Packet& p = queue.front();
+      const PacketIndex pi = queue.front();
+      Packet& p = pool_[pi];
       // An adaptive packet no longer carries a complete route, so arrival
       // is detected positionally; a planned packet arrives exactly when
       // its route is consumed (the planner guarantees it ends at dst).
       const bool arrived = p.adaptive ? u == p.dst : p.at_destination();
       if (arrived) {
         NodeId replay = p.src;
-        for (const Dim h : p.hops) replay = flip_bit(replay, h);
+        for (std::uint32_t h = 0; h < p.next_hop; ++h) {
+          replay = flip_bit(replay, p.hop_at(h));
+        }
         GCUBE_REQUIRE(replay == p.dst,
                       "delivered packet's recorded path must end at dst");
         if (measuring) {
           ++metrics_.delivered;
           metrics_.total_latency += now - p.created;
-          metrics_.total_hops += p.hops.size();
+          metrics_.total_hops += p.next_hop;
           metrics_.latency_histogram.record(now - p.created);
           ++metrics_.service_ops;
         }
         --in_flight_;
         queue.pop_front();
+        pool_.release(pi);
         moved = true;
         continue;
       }
@@ -165,6 +182,7 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
         if (measuring) ++metrics_.dropped_en_route;
         --in_flight_;
         queue.pop_front();
+        pool_.release(pi);
         moved = true;
       };
       Dim c;
@@ -181,13 +199,13 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
         }
         c = *nh;
       } else {
-        c = p.hops[p.next_hop];
+        c = p.plan->hops()[p.next_hop];
         if (!topo_.has_link(u, c) || !faults_.link_usable(u, c)) {
           // The precomputed next link died under the packet: re-plan from
           // here with current fault knowledge instead of traversing it.
           if (measuring) ++metrics_.reroutes;
           p.adaptive = true;
-          p.hops.resize(p.next_hop);
+          p.plan_len = p.next_hop;  // abandon the unconsumed planned tail
           const std::optional<Dim> nh = router_.next_hop(u, p.dst);
           if (!nh || !topo_.has_link(u, *nh) ||
               !faults_.link_usable(u, *nh)) {
@@ -206,17 +224,19 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
       }
       stamp = now + 1;
       if (measuring) ++metrics_.service_ops;
-      if (p.adaptive) p.hops.push_back(c);
+      if (p.adaptive) p.tail.push_back(c);
       ++p.next_hop;
-      staged_[v].push_back(std::move(p));
+      staged_[v].push_back(pi);
       queue.pop_front();
       moved = true;
     }
   }
   for (std::uint64_t u = 0; u < nodes; ++u) {
-    auto& incoming = staged_[u];
-    for (auto& p : incoming) queues_[u].push_back(std::move(p));
-    incoming.clear();
+    IndexRing& incoming = staged_[u];
+    while (!incoming.empty()) {
+      queues_[u].push_back(incoming.front());
+      incoming.pop_front();
+    }
   }
   return moved;
 }

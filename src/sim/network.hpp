@@ -27,7 +27,6 @@
 // metrics.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fault/fault_set.hpp"
@@ -35,6 +34,7 @@
 #include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
 #include "sim/traffic.hpp"
 #include "topology/topology.hpp"
 #include "util/rng.hpp"
@@ -84,6 +84,14 @@ class NetworkSim {
   [[nodiscard]] SimMetrics run();
 
  private:
+  /// The single delegation target of every public constructor; `traffic`
+  /// may be null (the built-in uniform model is used).
+  NetworkSim(const Topology& topo, const Router& router,
+             const FaultSet& faults, const SimConfig& config,
+             const TrafficModel* traffic);
+
+  /// Validates the schedule (in-range, sorted by cycle) and switches the
+  /// simulator to dynamic-fault mode.
   void attach_schedule(FaultSet& faults, const FaultSchedule& schedule);
   /// Applies every schedule event due at `now` and orphans packets queued
   /// at nodes that just died.
@@ -95,6 +103,8 @@ class NetworkSim {
   [[nodiscard]] std::size_t occupancy(NodeId u) const {
     return queues_[u].size() + staged_[u].size();
   }
+  /// Releases every packet queued or staged at `u` back to the pool.
+  std::size_t discard_packets_at(NodeId u);
 
   const Topology& topo_;
   const Router& router_;
@@ -103,8 +113,9 @@ class NetworkSim {
   UniformTraffic default_traffic_;   // used when no model is supplied
   const TrafficModel& traffic_;
   Xoshiro256 rng_;
-  std::vector<std::deque<Packet>> queues_;
-  std::vector<std::vector<Packet>> staged_;  // arrivals visible next cycle
+  PacketPool pool_;
+  std::vector<IndexRing> queues_;  // per-node FIFO of pool indices
+  std::vector<IndexRing> staged_;  // arrivals visible next cycle
   std::vector<Cycle> link_busy_;  // directed link reservation stamps
   SimMetrics metrics_;
   std::uint64_t next_packet_id_ = 0;

@@ -1,32 +1,89 @@
 // Packet representation for the network simulator.
+//
+// A packet no longer owns its source route: it holds shared ownership of
+// an immutable Route produced by the router's plan cache plus a cursor, so
+// injection is a refcount bump instead of a hop-vector copy. A packet that
+// goes adaptive (its precomputed next link died mid-flight) stops
+// consuming the plan and records each online hop in a small inline tail
+// buffer, spilling to the heap only past kInlineHops (deep detours under
+// dense dynamic faults). The recorded path is always plan[0, plan_len) ++
+// tail, which the simulator replays at delivery as a safety check.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
+#include "routing/route.hpp"
 #include "util/bits.hpp"
 
 namespace gcube {
 
 using Cycle = std::uint64_t;
 
+/// Append-only hop sequence with inline storage for the common shallow
+/// case. clear() keeps any heap spill capacity, so a pooled packet that
+/// detoured deeply once never reallocates again.
+class HopTail {
+ public:
+  static constexpr std::uint32_t kInlineHops = 12;
+
+  void push_back(Dim c) {
+    if (size_ < kInlineHops) {
+      inline_[size_++] = c;
+      return;
+    }
+    const std::uint32_t spilled = size_ - kInlineHops;
+    if (spilled == heap_capacity_) {
+      const std::uint32_t grown = heap_capacity_ == 0 ? kInlineHops
+                                                      : 2 * heap_capacity_;
+      auto bigger = std::make_unique<Dim[]>(grown);
+      for (std::uint32_t i = 0; i < spilled; ++i) bigger[i] = heap_[i];
+      heap_ = std::move(bigger);
+      heap_capacity_ = grown;
+    }
+    heap_[spilled] = c;
+    ++size_;
+  }
+
+  [[nodiscard]] Dim operator[](std::uint32_t i) const {
+    return i < kInlineHops ? inline_[i] : heap_[i - kInlineHops];
+  }
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  std::uint32_t size_ = 0;
+  std::uint32_t heap_capacity_ = 0;
+  Dim inline_[kInlineHops] = {};
+  std::unique_ptr<Dim[]> heap_;
+};
+
 struct Packet {
   std::uint64_t id = 0;
   NodeId src = 0;
   NodeId dst = 0;
   Cycle created = 0;
-  /// Source route: dimensions to cross, planned at injection (the paper's
-  /// O(n) header). Always records the path actually traversed: an adaptive
-  /// packet's abandoned tail is truncated and each online hop is appended
-  /// as it is taken.
-  std::vector<Dim> hops;
-  std::uint32_t next_hop = 0;  // index into hops == hops already taken
+  /// Source route: the cached immutable plan computed at injection (the
+  /// paper's O(n) header), shared with the router's plan cache and any
+  /// other packet on the same (src, dst) pair.
+  std::shared_ptr<const Route> plan;
+  std::uint32_t next_hop = 0;  // hops already taken
+  /// Hops [0, plan_len) come from *plan; an adaptive packet truncates this
+  /// to the hops actually traversed before the re-plan.
+  std::uint32_t plan_len = 0;
   /// Set when a mid-flight fault invalidated the precomputed route; from
-  /// then on the packet is steered hop by hop via Router::next_hop.
+  /// then on the packet is steered hop by hop via Router::next_hop and
+  /// every hop taken is recorded in `tail`.
   bool adaptive = false;
+  HopTail tail;
 
   [[nodiscard]] bool at_destination() const noexcept {
-    return next_hop == hops.size();
+    return next_hop == plan_len;
+  }
+  /// The i-th hop of the recorded path (i < next_hop, or i < plan_len for
+  /// the not-yet-traversed planned suffix).
+  [[nodiscard]] Dim hop_at(std::uint32_t i) const {
+    return i < plan_len ? plan->hops()[i] : tail[i - plan_len];
   }
 };
 

@@ -1,0 +1,104 @@
+// Flat packet storage for the simulator hot path.
+//
+// Packets live in one pool (a slab of Packet slots plus a free list) and
+// every per-node FIFO is a growable power-of-two ring buffer of pool
+// indices. Forwarding a packet moves one 32-bit index between rings
+// instead of shuffling a Packet through std::deque nodes, and once the
+// pool and rings have grown to the run's working set the cycle loop
+// allocates nothing: released slots keep their tail capacity, rings keep
+// their slabs, and plans are shared with the router's cache.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace gcube {
+
+using PacketIndex = std::uint32_t;
+
+class PacketPool {
+ public:
+  /// A cleared slot ready for initialization (recycled when possible).
+  [[nodiscard]] PacketIndex acquire() {
+    if (free_.empty()) {
+      slots_.emplace_back();
+      return static_cast<PacketIndex>(slots_.size() - 1);
+    }
+    const PacketIndex i = free_.back();
+    free_.pop_back();
+    return i;
+  }
+
+  /// Returns a slot to the free list. Resets routing state but keeps the
+  /// tail's spill capacity for the next tenant.
+  void release(PacketIndex i) {
+    Packet& p = slots_[i];
+    p.plan.reset();
+    p.next_hop = 0;
+    p.plan_len = 0;
+    p.adaptive = false;
+    p.tail.clear();
+    free_.push_back(i);
+  }
+
+  [[nodiscard]] Packet& operator[](PacketIndex i) { return slots_[i]; }
+  [[nodiscard]] const Packet& operator[](PacketIndex i) const {
+    return slots_[i];
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t live() const noexcept {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketIndex> free_;
+};
+
+/// FIFO ring buffer of packet indices with power-of-two capacity. Grows
+/// geometrically on overflow and never shrinks, so a queue that reached
+/// its steady-state depth stops allocating.
+class IndexRing {
+ public:
+  void push_back(PacketIndex v) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = v;
+    ++count_;
+  }
+  /// Precondition for front()/pop_front(): !empty().
+  [[nodiscard]] PacketIndex front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t grown = buf_.empty() ? 8 : 2 * buf_.size();
+    std::vector<PacketIndex> bigger(grown);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<PacketIndex> buf_;  // power-of-two size (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gcube

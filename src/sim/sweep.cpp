@@ -35,8 +35,13 @@ void parallel_for_index(std::size_t count,
           try {
             fn(i);
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            {
+              const std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+            }
+            // Fast-fail: exhaust the iteration counter so no worker starts
+            // more cells once one has already failed the whole sweep.
+            next.store(count, std::memory_order_relaxed);
           }
         }
       });
