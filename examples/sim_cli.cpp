@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     CliArgs args(argc, argv);
     args.allow({"n", "modulus", "rate", "cycles", "warmup", "faults",
                 "pattern", "seed", "buffers", "service", "router",
-                "fault-schedule", "fault-rate", "help"});
+                "fault-schedule", "fault-rate", "threads", "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
@@ -62,9 +62,12 @@ int main(int argc, char** argv) {
           << "               [--seed S] [--buffers B] [--service K]\n"
           << "               [--router auto|ffgcr|ftgcr|ecube]\n"
           << "               [--fault-schedule FILE] [--fault-rate R]\n"
+          << "               [--threads T]\n"
           << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
           << "scheduled events mutate the network mid-run and packets\n"
-          << "re-route per hop around faults discovered en route.\n";
+          << "re-route per hop around faults discovered en route.\n"
+          << "--threads: simulation worker threads (0 = auto). Metrics\n"
+          << "are bit-identical for any thread count at a fixed seed.\n";
       return 0;
     }
     GcSimSpec spec;
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_int("buffers", 0));
     spec.sim.service_rate =
         static_cast<std::uint32_t>(args.get_int("service", 4));
+    spec.sim.threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
 
     const GcSimOutcome outcome = run_gc_simulation(spec);
     const SimMetrics& m = outcome.metrics;
@@ -119,6 +123,17 @@ int main(int argc, char** argv) {
     table.add_row({"injections blocked", std::to_string(m.injections_blocked)});
     table.add_row({"stalled cycles", std::to_string(m.stalled_cycles)});
     table.add_row({"deadlocked", m.deadlocked ? "YES" : "no"});
+    table.add_row({"threads (0 = auto)", std::to_string(spec.sim.threads)});
+    table.add_row({"route cache hit rate",
+                   fmt_double(m.plan_cache.hit_rate(), 4) + " (" +
+                       std::to_string(m.plan_cache.hits) + "/" +
+                       std::to_string(m.plan_cache.lookups()) + ", stale " +
+                       std::to_string(m.plan_cache.stale) + ")"});
+    table.add_row({"hop cache hit rate",
+                   fmt_double(m.hop_cache.hit_rate(), 4) + " (" +
+                       std::to_string(m.hop_cache.hits) + "/" +
+                       std::to_string(m.hop_cache.lookups()) + ", stale " +
+                       std::to_string(m.hop_cache.stale) + ")"});
     table.print(std::cout);
     return m.deadlocked ? 3 : 0;
   } catch (const std::exception& e) {

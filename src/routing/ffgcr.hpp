@@ -78,6 +78,10 @@ class FfgcrRouter final : public Router {
   /// remaining distance and always terminates at dst.
   [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
                                             NodeId dst) const override;
+  /// Counters for the (s, d) route cache and the (cur, dst) hop cache.
+  [[nodiscard]] RouterCacheStats cache_stats() const override {
+    return {plan_cache_.stats(), hop_cache_.stats()};
+  }
   [[nodiscard]] std::string name() const override { return "FFGCR"; }
 
   /// The optimal fault-free route length from s to d, computable without

@@ -74,6 +74,11 @@ class FtgcrRouter final : public Router {
   /// dead, cube disconnected) memoize too.
   [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
                                             NodeId dst) const override;
+  /// Counters for the version-stamped route and hop caches; `stale` tallies
+  /// lookups that found an entry superseded by a FaultSet::version() move.
+  [[nodiscard]] RouterCacheStats cache_stats() const override {
+    return {plan_cache_.stats(), hop_cache_.stats()};
+  }
   [[nodiscard]] std::string name() const override { return "FTGCR"; }
 
   [[nodiscard]] const GaussianTree& class_tree() const noexcept {

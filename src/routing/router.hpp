@@ -20,8 +20,31 @@
 
 #include "routing/route.hpp"
 #include "util/bits.hpp"
+#include "util/cache_stats.hpp"
 
 namespace gcube {
+
+/// Lookup counters for a router's memoization layers: whole-route planning
+/// (plan_shared) and stepwise next-hop re-planning. Cumulative since router
+/// construction; consumers snapshot-and-subtract to scope a measurement
+/// window. Diagnostics only — under concurrent lookups the split between
+/// hits and misses can vary run to run even when routing results do not.
+struct RouterCacheStats {
+  CacheStats plan;
+  CacheStats hop;
+
+  RouterCacheStats& operator+=(const RouterCacheStats& o) noexcept {
+    plan += o.plan;
+    hop += o.hop;
+    return *this;
+  }
+  [[nodiscard]] RouterCacheStats operator-(
+      const RouterCacheStats& o) const noexcept {
+    return {plan - o.plan, hop - o.hop};
+  }
+  friend bool operator==(const RouterCacheStats&,
+                         const RouterCacheStats&) = default;
+};
 
 class Router {
  public:
@@ -56,6 +79,10 @@ class Router {
     if (!r.delivered() || r.route->empty()) return std::nullopt;
     return r.route->hops().front();
   }
+
+  /// Cumulative cache counters for the router's plan/hop memoization.
+  /// Routers without caches report all-zero stats.
+  [[nodiscard]] virtual RouterCacheStats cache_stats() const { return {}; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

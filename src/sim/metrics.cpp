@@ -36,9 +36,48 @@ Cycle LatencyHistogram::percentile(double q) const {
   return ~Cycle{0};
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& o) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+}
+
 double SimMetrics::log2_throughput() const {
   const double t = throughput();
   return t <= 0.0 ? 0.0 : std::log2(t);
+}
+
+void SimMetrics::absorb(const SimMetrics& shard) noexcept {
+  generated += shard.generated;
+  delivered += shard.delivered;
+  dropped += shard.dropped;
+  total_latency += shard.total_latency;
+  total_hops += shard.total_hops;
+  service_ops += shard.service_ops;
+  peak_in_flight = std::max(peak_in_flight, shard.peak_in_flight);
+  injections_blocked += shard.injections_blocked;
+  stalled_cycles += shard.stalled_cycles;
+  deadlocked = deadlocked || shard.deadlocked;
+  fault_events += shard.fault_events;
+  reroutes += shard.reroutes;
+  dropped_en_route += shard.dropped_en_route;
+  orphaned_by_node_fault += shard.orphaned_by_node_fault;
+  latency_histogram.merge(shard.latency_histogram);
+  plan_cache += shard.plan_cache;
+  hop_cache += shard.hop_cache;
+}
+
+bool SimMetrics::deterministic_equals(const SimMetrics& o) const noexcept {
+  return measured_cycles == o.measured_cycles && generated == o.generated &&
+         delivered == o.delivered && dropped == o.dropped &&
+         total_latency == o.total_latency && total_hops == o.total_hops &&
+         service_ops == o.service_ops &&
+         peak_in_flight == o.peak_in_flight &&
+         injections_blocked == o.injections_blocked &&
+         stalled_cycles == o.stalled_cycles && deadlocked == o.deadlocked &&
+         fault_events == o.fault_events && reroutes == o.reroutes &&
+         dropped_en_route == o.dropped_en_route &&
+         orphaned_by_node_fault == o.orphaned_by_node_fault &&
+         latency_histogram == o.latency_histogram;
 }
 
 }  // namespace gcube

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "sim/packet.hpp"
+#include "util/cache_stats.hpp"
 
 namespace gcube {
 
@@ -34,6 +35,14 @@ class LatencyHistogram {
   /// q clamped to [0, 1]). p0 is the first nonempty bucket's edge, p100 the
   /// last nonempty bucket's edge. Returns 0 when empty.
   [[nodiscard]] Cycle percentile(double q) const;
+
+  /// Bucket-wise accumulation (per-shard histograms are merged into the
+  /// run total; integer adds, so the merge is associative and the result
+  /// is independent of shard count).
+  void merge(const LatencyHistogram& o) noexcept;
+
+  friend bool operator==(const LatencyHistogram&,
+                         const LatencyHistogram&) = default;
 
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
@@ -65,6 +74,14 @@ struct SimMetrics {
                                        // mid-flight fault (or hop limit)
   std::uint64_t orphaned_by_node_fault = 0;  // queued at a node that died
   LatencyHistogram latency_histogram;
+  /// Router memoization counters over the measurement window (cache state
+  /// at run() end minus the snapshot at measurement start). Diagnostics,
+  /// not simulation results: under parallel execution the hit/miss split
+  /// depends on thread interleaving (two workers can both miss on a key
+  /// one is about to fill), so these are deliberately EXCLUDED from
+  /// deterministic_equals() and carry no determinism guarantee.
+  CacheStats plan_cache;
+  CacheStats hop_cache;
 
   [[nodiscard]] double avg_latency() const {
     return delivered == 0
@@ -97,6 +114,22 @@ struct SimMetrics {
                      static_cast<double>(measured_cycles);
   }
   [[nodiscard]] double log2_throughput() const;
+
+  /// Folds a per-shard partial into this run total: additive counters sum,
+  /// histograms merge bucket-wise, flags OR, peaks max, and
+  /// measured_cycles keeps this object's value (a shard partial describes
+  /// the same window, not an additional one). All operations are
+  /// associative and commutative over disjoint shard contributions, so the
+  /// reduction — performed in ascending shard order regardless — cannot
+  /// depend on shard count.
+  void absorb(const SimMetrics& shard) noexcept;
+
+  /// Equality over every deterministic field, including the latency
+  /// histogram. This is the parallel core's determinism contract: for a
+  /// fixed seed it must hold across any shard/thread-count combination.
+  /// plan_cache / hop_cache are excluded — the hit/miss split is a
+  /// thread-interleaving diagnostic, not a simulation result.
+  [[nodiscard]] bool deterministic_equals(const SimMetrics& o) const noexcept;
 };
 
 }  // namespace gcube

@@ -1,7 +1,11 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <thread>
+#include <utility>
 
+#include "sim/sweep.hpp"
 #include "util/error.hpp"
 
 namespace gcube {
@@ -16,14 +20,12 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
       default_traffic_(topo.node_count(), config.injection_rate, faults,
                        config.seed),
       traffic_(traffic != nullptr ? *traffic : default_traffic_),
-      rng_(config.seed),
-      queues_(topo.node_count()),
-      staged_(topo.node_count()),
-      link_busy_(topo.node_count() * topo.dims(), 0),
       hop_limit_(config.reroute_hop_limit != 0 ? config.reroute_hop_limit
                                                : 16 * topo.dims() + 64) {
   GCUBE_REQUIRE(config.service_rate >= 1, "service rate must be positive");
   GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
+  GCUBE_REQUIRE(config.threads <= kMaxPoolShards,
+                "thread count exceeds the packet-reference shard space");
 }
 
 NetworkSim::NetworkSim(const Topology& topo, const Router& router,
@@ -70,15 +72,74 @@ void NetworkSim::attach_schedule(FaultSet& faults,
   schedule_events_ = events;
 }
 
-std::size_t NetworkSim::discard_packets_at(NodeId u) {
-  const std::size_t lost = occupancy(u);
-  while (!queues_[u].empty()) {
-    pool_.release(queues_[u].front());
-    queues_[u].pop_front();
+void NetworkSim::configure_shards(unsigned shard_count) {
+  const std::uint64_t nodes = topo_.node_count();
+  auto count = static_cast<std::uint64_t>(shard_count);
+  if (count > nodes) count = nodes;  // empty shards buy nothing
+  if (count > kMaxPoolShards) count = kMaxPoolShards;
+  if (count == 0) count = 1;
+  shards_.clear();
+  shards_.resize(count);
+  range_base_ = static_cast<NodeId>(nodes / count);
+  range_rem_ = static_cast<NodeId>(nodes % count);
+  NodeId begin = 0;
+  for (std::uint64_t s = 0; s < count; ++s) {
+    Shard& sh = shards_[s];
+    sh.begin = begin;
+    sh.end = begin + range_base_ + (s < range_rem_ ? 1 : 0);
+    sh.outbox.resize(count);
+    begin = sh.end;
   }
-  while (!staged_[u].empty()) {
-    pool_.release(staged_[u].front());
-    staged_[u].pop_front();
+  queues_.assign(nodes, {});
+  link_busy_.assign(nodes * topo_.dims(), 0);
+  occ_.assign(config_.buffer_limit != 0 ? nodes : 0, 0);
+  in_flight_ = 0;
+}
+
+unsigned NetworkSim::shard_of(NodeId u) const noexcept {
+  // Contiguous split: the first range_rem_ shards are one node wider.
+  const NodeId wide = range_base_ + 1;
+  const NodeId split = range_rem_ * wide;
+  if (u < split) return static_cast<unsigned>(u / wide);
+  return static_cast<unsigned>(
+      range_rem_ + (u - split) / (range_base_ == 0 ? 1 : range_base_));
+}
+
+void NetworkSim::release_ref(unsigned w, PacketRef ref) {
+  const unsigned home = packet_ref_shard(ref);
+  if (home == w) {
+    shards_[home].pool.release(packet_ref_slot(ref));
+  } else {
+    // Foreign pools may not be touched from phase B (their owners release
+    // into them concurrently); park the slot for the serial commit.
+    shards_[w].released.push_back(ref);
+  }
+}
+
+std::size_t NetworkSim::discard_packets_at(NodeId u) {
+  std::size_t lost = 0;
+  Ring<PacketRef>& queue = queues_[u];
+  while (!queue.empty()) {
+    const PacketRef ref = queue.front();
+    queue.pop_front();
+    shards_[packet_ref_shard(ref)].pool.release(packet_ref_slot(ref));
+    ++lost;
+  }
+  // Packets already forwarded to u but still parked in a mailbox are lost
+  // with it too; rotate each ring once, keeping survivors in order.
+  const unsigned dst_shard = shard_of(u);
+  for (Shard& src : shards_) {
+    Ring<Arrival>& box = src.outbox[dst_shard];
+    for (std::size_t i = box.size(); i > 0; --i) {
+      const Arrival a = box.front();
+      box.pop_front();
+      if (a.node == u) {
+        shards_[packet_ref_shard(a.ref)].pool.release(packet_ref_slot(a.ref));
+        ++lost;
+      } else {
+        box.push_back(a);
+      }
+    }
   }
   return lost;
 }
@@ -93,7 +154,7 @@ void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
       continue;
     }
     live_faults_->fail_node(e.node);
-    // Packets sitting at the dead node are lost with it.
+    // Packets sitting at (or in transit to) the dead node are lost with it.
     const std::size_t lost = discard_packets_at(e.node);
     if (lost > 0) {
       in_flight_ -= lost;
@@ -102,29 +163,50 @@ void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
   }
 }
 
-void NetworkSim::inject(Cycle now, bool measuring) {
-  const std::uint64_t nodes = topo_.node_count();
-  for (std::uint64_t u64 = 0; u64 < nodes; ++u64) {
-    const auto u = static_cast<NodeId>(u64);
-    if (!traffic_.eligible(u) || !traffic_.should_inject(u, rng_)) continue;
+void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
+  Shard& sh = shards_[w];
+  sh.injected = 0;
+  sh.removed = 0;
+  sh.moved = false;
+  // Drain last cycle's arrivals in ascending source-shard order; shards
+  // are contiguous and ascending, so this equals ascending source-node
+  // order — the canonical queue order, independent of shard count.
+  const auto shard_count = static_cast<unsigned>(shards_.size());
+  for (unsigned s = 0; s < shard_count; ++s) {
+    Ring<Arrival>& box = shards_[s].outbox[w];
+    while (!box.empty()) {
+      const Arrival a = box.front();
+      box.pop_front();
+      queues_[a.node].push_back(a.ref);
+    }
+  }
+  const std::uint64_t node_count = topo_.node_count();
+  SimMetrics& m = sh.metrics;
+  for (NodeId u = sh.begin; u < sh.end; ++u) {
+    if (!traffic_.eligible(u)) continue;
+    // Per-(node, cycle) draw stream: injection and destination choice are
+    // pure functions of (seed, u, now), never of sweep or thread order.
+    CounterRng rng(counter_key(config_.seed, u, now));
+    if (!traffic_.should_inject(u, rng)) continue;
     // The destination draw happens before the buffer check so that offered
-    // load (`generated`, and the RNG stream behind it) is identical across
+    // load (`generated`, and the draw stream behind it) is identical across
     // buffer_limit settings; a blocked injection differs only in being
     // counted in injections_blocked instead of entering the network.
-    const NodeId dst = traffic_.pick_destination(u, rng_);
-    if (measuring) ++metrics_.generated;
-    if (config_.buffer_limit != 0 && occupancy(u) >= config_.buffer_limit) {
-      if (measuring) ++metrics_.injections_blocked;
+    const NodeId dst = traffic_.pick_destination(u, rng);
+    if (measuring) ++m.generated;
+    if (config_.buffer_limit != 0 &&
+        queues_[u].size() >= config_.buffer_limit) {
+      if (measuring) ++m.injections_blocked;
       continue;
     }
     std::shared_ptr<const Route> planned = router_.plan_shared(u, dst);
     if (planned == nullptr) {
-      if (measuring) ++metrics_.dropped;
+      if (measuring) ++m.dropped;
       continue;
     }
-    const PacketIndex pi = pool_.acquire();
-    Packet& p = pool_[pi];
-    p.id = next_packet_id_++;
+    const PacketIndex slot = sh.pool.acquire();
+    Packet& p = sh.pool[slot];
+    p.id = now * node_count + u;  // unique without a shared counter
     p.src = u;
     p.dst = dst;
     p.created = now;
@@ -133,25 +215,31 @@ void NetworkSim::inject(Cycle now, bool measuring) {
     p.next_hop = 0;
     p.adaptive = false;
     p.tail.clear();
-    queues_[u].push_back(pi);
-    ++in_flight_;
-    metrics_.peak_in_flight = std::max(metrics_.peak_in_flight, in_flight_);
+    queues_[u].push_back(make_packet_ref(w, slot));
+    ++sh.injected;
+  }
+  if (config_.buffer_limit != 0) {
+    // Publish committed occupancy for this cycle's backpressure checks.
+    for (NodeId u = sh.begin; u < sh.end; ++u) {
+      occ_[u] = static_cast<std::uint32_t>(queues_[u].size());
+    }
   }
 }
 
-bool NetworkSim::forward(Cycle now, bool measuring) {
-  const std::uint64_t nodes = topo_.node_count();
+void NetworkSim::phase_forward(unsigned w, Cycle now, bool measuring) {
+  Shard& sh = shards_[w];
+  SimMetrics& m = sh.metrics;
   const Dim n = topo_.dims();
   bool moved = false;
   // Epoch-stamped link reservations: a directed link is free this cycle if
   // its stamp is older than now + 1 (stamps store now + 1 to keep 0 free).
-  for (std::uint64_t u64 = 0; u64 < nodes; ++u64) {
-    const auto u = static_cast<NodeId>(u64);
-    IndexRing& queue = queues_[u];
+  // Every link written here starts at a node this shard owns.
+  for (NodeId u = sh.begin; u < sh.end; ++u) {
+    Ring<PacketRef>& queue = queues_[u];
     for (std::uint32_t served = 0;
          served < config_.service_rate && !queue.empty(); ++served) {
-      const PacketIndex pi = queue.front();
-      Packet& p = pool_[pi];
+      const PacketRef ref = queue.front();
+      Packet& p = packet(ref);
       // An adaptive packet no longer carries a complete route, so arrival
       // is detected positionally; a planned packet arrives exactly when
       // its route is consumed (the planner guarantees it ends at dst).
@@ -164,25 +252,25 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
         GCUBE_REQUIRE(replay == p.dst,
                       "delivered packet's recorded path must end at dst");
         if (measuring) {
-          ++metrics_.delivered;
-          metrics_.total_latency += now - p.created;
-          metrics_.total_hops += p.next_hop;
-          metrics_.latency_histogram.record(now - p.created);
-          ++metrics_.service_ops;
+          ++m.delivered;
+          m.total_latency += now - p.created;
+          m.total_hops += p.next_hop;
+          m.latency_histogram.record(now - p.created);
+          ++m.service_ops;
         }
-        --in_flight_;
+        ++sh.removed;
         queue.pop_front();
-        pool_.release(pi);
+        release_ref(w, ref);
         moved = true;
         continue;
       }
       // A dropped packet leaves the network for good; dropping counts as
       // progress for the stall detector.
       const auto drop = [&]() {
-        if (measuring) ++metrics_.dropped_en_route;
-        --in_flight_;
+        if (measuring) ++m.dropped_en_route;
+        ++sh.removed;
         queue.pop_front();
-        pool_.release(pi);
+        release_ref(w, ref);
         moved = true;
       };
       Dim c;
@@ -203,7 +291,7 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
         if (!topo_.has_link(u, c) || !faults_.link_usable(u, c)) {
           // The precomputed next link died under the packet: re-plan from
           // here with current fault knowledge instead of traversing it.
-          if (measuring) ++metrics_.reroutes;
+          if (measuring) ++m.reroutes;
           p.adaptive = true;
           p.plan_len = p.next_hop;  // abandon the unconsumed planned tail
           const std::optional<Dim> nh = router_.next_hop(u, p.dst);
@@ -215,36 +303,70 @@ bool NetworkSim::forward(Cycle now, bool measuring) {
           c = *nh;
         }
       }
-      auto& stamp = link_busy_[u64 * n + c];
+      Cycle& stamp = link_busy_[static_cast<std::size_t>(u) * n + c];
       if (stamp == now + 1) break;  // link busy: head-of-line blocking
       const NodeId v = flip_bit(u, c);
-      if (config_.buffer_limit != 0 &&
-          occupancy(v) >= config_.buffer_limit) {
-        break;  // backpressure: downstream buffer full
+      if (config_.buffer_limit != 0 && occ_[v] >= config_.buffer_limit) {
+        break;  // backpressure against start-of-cycle committed occupancy
       }
       stamp = now + 1;
-      if (measuring) ++metrics_.service_ops;
+      if (measuring) ++m.service_ops;
       if (p.adaptive) p.tail.push_back(c);
       ++p.next_hop;
-      staged_[v].push_back(pi);
+      sh.outbox[shard_of(v)].push_back({v, ref});
       queue.pop_front();
       moved = true;
     }
   }
-  for (std::uint64_t u = 0; u < nodes; ++u) {
-    IndexRing& incoming = staged_[u];
-    while (!incoming.empty()) {
-      queues_[u].push_back(incoming.front());
-      incoming.pop_front();
-    }
-  }
-  return moved;
+  sh.moved = moved;
 }
 
 SimMetrics NetworkSim::run() {
   metrics_ = SimMetrics{};
   metrics_.measured_cycles = config_.measure_cycles;
   next_event_ = 0;
+
+  // Resolve the worker count. Explicit counts are honored exactly (the
+  // determinism and TSan tests need real concurrency even on small
+  // machines) but still deduct from the shared budget so enclosing sweeps
+  // see the machine as busy; auto asks the budget what is spare.
+  std::optional<ThreadLease> lease;
+  unsigned shard_count;
+  if (config_.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    lease.emplace(hw - 1);
+    shard_count = 1 + lease->granted();
+  } else {
+    lease.emplace(config_.threads - 1);
+    shard_count = config_.threads;
+  }
+  configure_shards(shard_count);
+  ShardPool pool(static_cast<unsigned>(shards_.size()));
+  pool_ = &pool;
+
+  // One job per cycle: inject phase, barrier, forward phase. Phases catch
+  // into the shard's error slot so every worker always reaches the
+  // barrier; failures are rethrown serially, in shard order.
+  const std::function<void(unsigned)> job = [this](unsigned w) {
+    Shard& sh = shards_[w];
+    try {
+      phase_inject(w, cycle_now_, cycle_measuring_);
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+    pool_->barrier();
+    if (sh.error == nullptr) {
+      try {
+        phase_forward(w, cycle_now_, cycle_measuring_);
+      } catch (...) {
+        sh.error = std::current_exception();
+      }
+    }
+  };
+
+  RouterCacheStats cache_base{};
+  bool cache_base_set = false;
   const Cycle total = config_.warmup_cycles + config_.measure_cycles;
   // With finite buffers a sustained global stall (packets in flight, none
   // moving) is a deadlock: declared after this many consecutive cycles.
@@ -252,9 +374,46 @@ SimMetrics NetworkSim::run() {
   Cycle consecutive_stalls = 0;
   for (Cycle now = 0; now < total; ++now) {
     const bool measuring = now >= config_.warmup_cycles;
+    if (measuring && !cache_base_set) {
+      // Scope the reported cache counters to the measurement window.
+      cache_base = router_.cache_stats();
+      cache_base_set = true;
+    }
     apply_fault_events(now, measuring);
-    inject(now, measuring);
-    const bool moved = forward(now, measuring);
+    cycle_now_ = now;
+    cycle_measuring_ = measuring;
+    pool.run(job);
+    for (Shard& sh : shards_) {
+      if (sh.error != nullptr) {
+        const std::exception_ptr error = sh.error;
+        for (Shard& other : shards_) other.error = nullptr;
+        pool_ = nullptr;
+        std::rethrow_exception(error);
+      }
+    }
+    // Serial commit: reclaim cross-shard packet slots, then the global
+    // accounting no shard can do alone.
+    std::uint64_t injected = 0;
+    std::uint64_t removed = 0;
+    bool moved = false;
+    for (Shard& sh : shards_) {
+      injected += sh.injected;
+      removed += sh.removed;
+      moved = moved || sh.moved;
+      while (!sh.released.empty()) {
+        const PacketRef ref = sh.released.front();
+        sh.released.pop_front();
+        shards_[packet_ref_shard(ref)].pool.release(packet_ref_slot(ref));
+      }
+    }
+    // In-flight depth peaks after phase A (all injections in, no removals
+    // yet); the same value the serial core saw at its last injection of
+    // the cycle, now gated on the measurement window.
+    if (measuring) {
+      metrics_.peak_in_flight =
+          std::max(metrics_.peak_in_flight, in_flight_ + injected);
+    }
+    in_flight_ = in_flight_ + injected - removed;
     if (!moved && in_flight_ > 0) {
       if (measuring) ++metrics_.stalled_cycles;
       if (++consecutive_stalls >= kDeadlockThreshold) {
@@ -264,6 +423,15 @@ SimMetrics NetworkSim::run() {
     } else {
       consecutive_stalls = 0;
     }
+  }
+  pool_ = nullptr;
+
+  // Deterministic reduction: fold shard partials in ascending shard order.
+  for (const Shard& sh : shards_) metrics_.absorb(sh.metrics);
+  if (cache_base_set) {
+    const RouterCacheStats delta = router_.cache_stats() - cache_base;
+    metrics_.plan_cache = delta.plan;
+    metrics_.hop_cache = delta.hop;
   }
   return metrics_;
 }

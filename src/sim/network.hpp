@@ -22,11 +22,43 @@
 // orphaned_by_node_fault). With an empty schedule dynamic mode is
 // bit-for-bit identical to static mode.
 //
-// Determinism: one seeded RNG drives injection and destination choice;
-// nodes are processed in ascending order; identical seeds give identical
-// metrics.
+// Execution model: node-sharded parallelism with a determinism contract.
+// Nodes are partitioned into S contiguous shards, one per worker of a
+// persistent ShardPool (S = SimConfig::threads, or a ThreadBudget grant
+// when 0). Each cycle runs in two phases under the pool's barrier:
+//
+//   phase A (inject): each worker drains last cycle's arrival mailboxes
+//     into its own queues (source-shard order, which equals global
+//     source-node order because shards are contiguous and ascending),
+//     injects new packets, and publishes its nodes' committed occupancy;
+//   phase B (forward): each worker serves its own queues. Every directed
+//     link is owned by its source node's shard, so link reservation
+//     stamps are written race-free; finite-buffer backpressure reads the
+//     phase-A occupancy snapshot; departures are handed to the
+//     destination shard through per-(source shard, destination shard)
+//     mailbox rings.
+//
+// Fault-schedule application, cross-shard packet-slot reclamation, and
+// global accounting (in-flight depth, stall detection) happen serially
+// between cycles. Every per-node decision therefore depends only on
+// start-of-cycle committed state, per-(node, cycle) counter RNG draws
+// (util/rng.hpp), and canonical queue order — so for a fixed seed, the
+// full SimMetrics (latency histogram included) are bit-identical for ANY
+// thread count, including 1. That contract is enforced by the determinism
+// test and lets the threads knob be a pure wall-clock choice.
+//
+// Two deliberate semantic refinements versus the old serial-only core,
+// both required for order-independence (and covered by the contract):
+// finite-buffer backpressure compares against occupancy committed at the
+// start of the cycle, so a node draining k arrivals in one cycle may
+// overshoot buffer_limit by its in-degree for that cycle (the bound is
+// enforced again next cycle); and peak_in_flight is accounted per cycle
+// (in-flight depth after all injections) instead of per injection event —
+// the same maximum, measured at cycle granularity and only during the
+// measurement window.
 #pragma once
 
+#include <exception>
 #include <vector>
 
 #include "fault/fault_set.hpp"
@@ -35,6 +67,7 @@
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/packet_pool.hpp"
+#include "sim/shard_pool.hpp"
 #include "sim/traffic.hpp"
 #include "topology/topology.hpp"
 #include "util/rng.hpp"
@@ -58,6 +91,13 @@ struct SimConfig {
   /// that has taken this many hops is dropped (stepwise re-plans are not
   /// guaranteed monotone under faults). 0 = auto (16 * dims + 64).
   std::uint32_t reroute_hop_limit = 0;
+  /// Worker threads for the sharded cycle loop. 0 = auto: the calling
+  /// thread plus whatever the process-wide ThreadBudget grants, so nested
+  /// sweeps never oversubscribe. N >= 1 = exactly N workers, budget or
+  /// not — oversubscription is allowed, which is what lets the
+  /// determinism and TSan tests run genuinely multithreaded on small
+  /// machines. Metrics are bit-identical for any value at a fixed seed.
+  std::uint32_t threads = 0;
 };
 
 class NetworkSim {
@@ -81,9 +121,35 @@ class NetworkSim {
              const FaultSchedule& schedule);
 
   /// Runs warmup + measurement and returns the measurement-window metrics.
+  /// Simulation state is rebuilt from scratch on every call.
   [[nodiscard]] SimMetrics run();
 
  private:
+  /// A packet in transit to another shard's node, parked in a mailbox
+  /// until the destination shard drains it at the next phase A.
+  struct Arrival {
+    NodeId node = 0;
+    PacketRef ref = 0;
+  };
+
+  /// Everything one worker owns, cache-line-aligned so two workers'
+  /// accumulators never share a line. Workers touch only their own shard
+  /// during a phase, except for the cross-shard reads the phase structure
+  /// makes safe (mailbox drains and packet dereferences in the phase that
+  /// cannot race them).
+  struct alignas(64) Shard {
+    NodeId begin = 0;  // nodes [begin, end) — contiguous, ascending
+    NodeId end = 0;
+    PacketPool pool;         // grows only in phase A, owner only
+    SimMetrics metrics;      // per-shard partial, absorbed after the run
+    std::vector<Ring<Arrival>> outbox;  // one ring per destination shard
+    Ring<PacketRef> released;  // foreign slots freed this cycle (phase B)
+    std::uint64_t injected = 0;  // this cycle
+    std::uint64_t removed = 0;   // delivered + dropped this cycle
+    bool moved = false;          // any service progress this cycle
+    std::exception_ptr error;    // first phase failure, rethrown serially
+  };
+
   /// The single delegation target of every public constructor; `traffic`
   /// may be null (the built-in uniform model is used).
   NetworkSim(const Topology& topo, const Router& router,
@@ -93,17 +159,27 @@ class NetworkSim {
   /// Validates the schedule (in-range, sorted by cycle) and switches the
   /// simulator to dynamic-fault mode.
   void attach_schedule(FaultSet& faults, const FaultSchedule& schedule);
-  /// Applies every schedule event due at `now` and orphans packets queued
-  /// at nodes that just died.
-  void apply_fault_events(Cycle now, bool measuring);
-  void inject(Cycle now, bool measuring);
-  /// Returns true iff any packet moved, was delivered, or was dropped this
-  /// cycle.
-  bool forward(Cycle now, bool measuring);
-  [[nodiscard]] std::size_t occupancy(NodeId u) const {
-    return queues_[u].size() + staged_[u].size();
+
+  /// Resolves the worker count and (re)builds all run state: shards with
+  /// balanced contiguous node ranges, empty queues, cleared link stamps.
+  void configure_shards(unsigned shard_count);
+  [[nodiscard]] unsigned shard_of(NodeId u) const noexcept;
+  [[nodiscard]] Packet& packet(PacketRef ref) noexcept {
+    return shards_[packet_ref_shard(ref)].pool[packet_ref_slot(ref)];
   }
-  /// Releases every packet queued or staged at `u` back to the pool.
+  /// Frees a packet slot from worker w's phase B: directly when w owns the
+  /// slot's pool, via the released ring (drained serially between cycles)
+  /// when it does not.
+  void release_ref(unsigned w, PacketRef ref);
+
+  /// Applies every schedule event due at `now` (serial point) and orphans
+  /// packets queued at — or in a mailbox toward — nodes that just died.
+  void apply_fault_events(Cycle now, bool measuring);
+  /// Phase A: drain arrival mailboxes, inject, publish occupancy.
+  void phase_inject(unsigned w, Cycle now, bool measuring);
+  /// Phase B: serve queues, forward/deliver/drop, fill mailboxes.
+  void phase_forward(unsigned w, Cycle now, bool measuring);
+  /// Releases every packet queued at or in transit to `u` (serial point).
   std::size_t discard_packets_at(NodeId u);
 
   const Topology& topo_;
@@ -112,14 +188,19 @@ class NetworkSim {
   SimConfig config_;
   UniformTraffic default_traffic_;   // used when no model is supplied
   const TrafficModel& traffic_;
-  Xoshiro256 rng_;
-  PacketPool pool_;
-  std::vector<IndexRing> queues_;  // per-node FIFO of pool indices
-  std::vector<IndexRing> staged_;  // arrivals visible next cycle
-  std::vector<Cycle> link_busy_;  // directed link reservation stamps
-  SimMetrics metrics_;
-  std::uint64_t next_packet_id_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<Ring<PacketRef>> queues_;  // per-node FIFO, owner-shard only
+  std::vector<Cycle> link_busy_;  // directed link stamps, owner-shard only
+  std::vector<std::uint32_t> occ_;  // phase-A occupancy snapshot
+  SimMetrics metrics_;  // serial/global fields; shard partials absorbed in
   std::uint64_t in_flight_ = 0;
+  ShardPool* pool_ = nullptr;        // valid while run() is on the stack
+  Cycle cycle_now_ = 0;              // job parameters (stable per dispatch)
+  bool cycle_measuring_ = false;
+  // Node-range split: the first range_rem_ shards own range_base_ + 1
+  // nodes, the rest range_base_ (contiguous ascending).
+  NodeId range_base_ = 0;
+  NodeId range_rem_ = 0;
   // Dynamic-fault mode state (live_faults_ == nullptr in static mode).
   FaultSet* live_faults_ = nullptr;
   std::vector<FaultEvent> schedule_events_;  // sorted by cycle

@@ -1,12 +1,21 @@
 // Flat packet storage for the simulator hot path.
 //
-// Packets live in one pool (a slab of Packet slots plus a free list) and
-// every per-node FIFO is a growable power-of-two ring buffer of pool
-// indices. Forwarding a packet moves one 32-bit index between rings
+// Packets live in pools (a slab of Packet slots plus a free list) and every
+// per-node FIFO is a growable power-of-two ring buffer of packet
+// references. Forwarding a packet moves one 32-bit reference between rings
 // instead of shuffling a Packet through std::deque nodes, and once the
-// pool and rings have grown to the run's working set the cycle loop
+// pools and rings have grown to the run's working set the cycle loop
 // allocates nothing: released slots keep their tail capacity, rings keep
 // their slabs, and plans are shared with the router's cache.
+//
+// The node-sharded simulator keeps one pool per shard (each thread
+// allocates from its own slab) and tags every reference with its owning
+// pool in the top bits, so a packet forwarded across a shard boundary can
+// still be dereferenced and, eventually, returned home. Concurrency is by
+// phase discipline, not locks: pools only grow during the injection phase
+// (owner thread only), foreign threads only *dereference* live slots during
+// the forwarding phase, and cross-shard releases travel through mailboxes
+// drained under the cycle barrier.
 #pragma once
 
 #include <cassert>
@@ -18,6 +27,27 @@
 namespace gcube {
 
 using PacketIndex = std::uint32_t;
+
+/// Pool-tagged packet reference: owning pool shard in the top bits, slot
+/// index below. 8 shard bits bound the simulator at 256 worker shards and
+/// 16M in-flight packets per shard — both far beyond any simulated cell.
+using PacketRef = std::uint32_t;
+
+inline constexpr unsigned kPacketRefShardShift = 24;
+inline constexpr PacketRef kPacketRefSlotMask =
+    (PacketRef{1} << kPacketRefShardShift) - 1;
+inline constexpr unsigned kMaxPoolShards = 1u << (32 - kPacketRefShardShift);
+
+[[nodiscard]] constexpr PacketRef make_packet_ref(unsigned shard,
+                                                  PacketIndex slot) noexcept {
+  return (static_cast<PacketRef>(shard) << kPacketRefShardShift) | slot;
+}
+[[nodiscard]] constexpr unsigned packet_ref_shard(PacketRef r) noexcept {
+  return r >> kPacketRefShardShift;
+}
+[[nodiscard]] constexpr PacketIndex packet_ref_slot(PacketRef r) noexcept {
+  return r & kPacketRefSlotMask;
+}
 
 class PacketPool {
  public:
@@ -58,18 +88,20 @@ class PacketPool {
   std::vector<PacketIndex> free_;
 };
 
-/// FIFO ring buffer of packet indices with power-of-two capacity. Grows
-/// geometrically on overflow and never shrinks, so a queue that reached
-/// its steady-state depth stops allocating.
-class IndexRing {
+/// FIFO ring buffer with power-of-two capacity. Grows geometrically on
+/// overflow and never shrinks, so a queue that reached its steady-state
+/// depth stops allocating. T must be trivially copyable-ish (packet refs,
+/// mailbox entries).
+template <typename T>
+class Ring {
  public:
-  void push_back(PacketIndex v) {
+  void push_back(T v) {
     if (count_ == buf_.size()) grow();
     buf_[(head_ + count_) & (buf_.size() - 1)] = v;
     ++count_;
   }
   /// Precondition for front()/pop_front(): !empty().
-  [[nodiscard]] PacketIndex front() const {
+  [[nodiscard]] T front() const {
     assert(count_ > 0);
     return buf_[head_];
   }
@@ -88,7 +120,7 @@ class IndexRing {
  private:
   void grow() {
     const std::size_t grown = buf_.empty() ? 8 : 2 * buf_.size();
-    std::vector<PacketIndex> bigger(grown);
+    std::vector<T> bigger(grown);
     for (std::size_t i = 0; i < count_; ++i) {
       bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
     }
@@ -96,9 +128,11 @@ class IndexRing {
     head_ = 0;
   }
 
-  std::vector<PacketIndex> buf_;  // power-of-two size (or empty)
+  std::vector<T> buf_;  // power-of-two size (or empty)
   std::size_t head_ = 0;
   std::size_t count_ = 0;
 };
+
+using IndexRing = Ring<PacketIndex>;
 
 }  // namespace gcube

@@ -1,0 +1,79 @@
+// Persistent worker pool for the node-sharded simulation cycle loop.
+//
+// The simulator executes two phases per cycle across S workers with a full
+// synchronization point between them; at thousands of cycles per run,
+// spawning threads per cycle (or even per phase) would dominate the work.
+// A ShardPool instead keeps S - 1 workers parked for the lifetime of a
+// run() — the calling thread is always worker 0 — and dispatches one job
+// per cycle through an epoch counter. Inside a job, barrier() lines every
+// worker up between phases.
+//
+// Synchronization is spin-then-yield on atomics rather than mutex +
+// condvar: the inter-phase gaps are microseconds, futex round trips would
+// swamp them, and the yield fallback keeps oversubscribed runs (more
+// workers than cores — the determinism and TSan tests do this on small
+// machines) from starving the workers that hold the work. All handshakes
+// are release/acquire pairs, so everything a worker wrote before arriving
+// at a barrier is visible to every worker after it — the property the
+// simulator's cross-shard mailbox reads rely on, and what ThreadSanitizer
+// checks end to end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcube {
+
+class ShardPool {
+ public:
+  /// A pool of `threads` workers total (>= 1); `threads - 1` are spawned,
+  /// the caller of run() acts as worker 0.
+  explicit ShardPool(unsigned threads);
+  ~ShardPool();
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs job(0) .. job(threads - 1) concurrently (job(0) on the calling
+  /// thread) and returns once all are done. The first exception escaping a
+  /// job is rethrown here. A job that calls barrier() must not throw
+  /// before its last barrier() — every worker has to arrive or the others
+  /// spin forever — so jobs with internal phases catch per phase and
+  /// report after the join (the simulator does exactly that).
+  void run(const std::function<void(unsigned)>& job);
+
+  /// Full synchronization point inside a job: no worker returns until all
+  /// `threads` workers have arrived. Release/acquire on both edges, so
+  /// pre-barrier writes are visible post-barrier.
+  void barrier() noexcept;
+
+ private:
+  void worker_loop(unsigned worker);
+  void record_error() noexcept;
+  static void spin_wait(const std::atomic<std::uint64_t>& flag,
+                        std::uint64_t last_seen) noexcept;
+
+  std::vector<std::jthread> workers_;
+  const std::function<void(unsigned)>* job_ = nullptr;  // valid per epoch
+
+  std::atomic<std::uint64_t> epoch_{0};     // bumped to dispatch a job
+  std::atomic<unsigned> done_{0};           // workers finished this epoch
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> bar_gen_{0};   // barrier generation
+  std::atomic<unsigned> bar_arrived_{0};
+
+  std::atomic<bool> has_error_{false};
+  std::exception_ptr first_error_;          // guarded by error_mutex_
+  std::mutex error_mutex_;
+};
+
+}  // namespace gcube

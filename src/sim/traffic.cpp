@@ -13,7 +13,7 @@ UniformTraffic::UniformTraffic(std::uint64_t node_count, double rate,
                 "not enough nonfaulty nodes for traffic");
 }
 
-NodeId UniformTraffic::pick_destination(NodeId src, Xoshiro256& rng) const {
+NodeId UniformTraffic::pick_destination(NodeId src, CounterRng& rng) const {
   while (true) {
     const auto d = static_cast<NodeId>(rng.below(node_count_));
     if (d != src && !faults_.node_faulty(d)) return d;
@@ -37,7 +37,7 @@ PatternTraffic::PatternTraffic(Dim n, double rate, const FaultSet& faults,
   GCUBE_REQUIRE(hot_node < pow2(n), "hot node out of range");
 }
 
-NodeId PatternTraffic::pick_destination(NodeId src, Xoshiro256& rng) const {
+NodeId PatternTraffic::pick_destination(NodeId src, CounterRng& rng) const {
   NodeId dest = src;
   switch (pattern_) {
     case TrafficPattern::kUniform:

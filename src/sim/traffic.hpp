@@ -18,16 +18,26 @@
 namespace gcube {
 
 /// Injection + destination model consumed by the simulator.
+///
+/// The rng handed to should_inject / pick_destination is a counter-based
+/// per-(node, cycle) stream owned by the caller; the simulator constructs
+/// it from counter_key(seed, node, cycle), so draws are a pure function of
+/// that triple and independent of the order nodes are visited in — the
+/// property the node-sharded parallel core's determinism contract rests
+/// on. Implementations must be const-thread-safe: the sharded simulator
+/// calls them concurrently from worker threads with no external locking,
+/// so they may read shared state (the FaultSet between mutation points)
+/// but must not mutate members.
 class TrafficModel {
  public:
   virtual ~TrafficModel() = default;
 
   /// Should node u inject a packet this cycle?
-  [[nodiscard]] virtual bool should_inject(NodeId u, Xoshiro256& rng) const = 0;
+  [[nodiscard]] virtual bool should_inject(NodeId u, CounterRng& rng) const = 0;
 
   /// A nonfaulty destination different from src.
   [[nodiscard]] virtual NodeId pick_destination(NodeId src,
-                                                Xoshiro256& rng) const = 0;
+                                                CounterRng& rng) const = 0;
 
   /// True iff u may act as a source or destination.
   [[nodiscard]] virtual bool eligible(NodeId u) const = 0;
@@ -39,11 +49,11 @@ class UniformTraffic : public TrafficModel {
   UniformTraffic(std::uint64_t node_count, double rate,
                  const FaultSet& faults, std::uint64_t seed);
 
-  [[nodiscard]] bool should_inject(NodeId, Xoshiro256& rng) const override {
+  [[nodiscard]] bool should_inject(NodeId, CounterRng& rng) const override {
     return rng.chance(rate_);
   }
   [[nodiscard]] NodeId pick_destination(NodeId src,
-                                        Xoshiro256& rng) const override;
+                                        CounterRng& rng) const override;
   [[nodiscard]] bool eligible(NodeId u) const override;
 
   [[nodiscard]] double rate() const noexcept { return rate_; }
@@ -75,7 +85,7 @@ class PatternTraffic final : public UniformTraffic {
                  NodeId hot_node = 0, double hotspot_fraction = 0.2);
 
   [[nodiscard]] NodeId pick_destination(NodeId src,
-                                        Xoshiro256& rng) const override;
+                                        CounterRng& rng) const override;
 
   [[nodiscard]] TrafficPattern pattern() const noexcept { return pattern_; }
 

@@ -1,0 +1,42 @@
+// Lookup counters shared by the sharded version-stamped caches.
+//
+// Split out of flat_cache.hpp so lightweight consumers (SimMetrics, the
+// Router interface) can carry the counters without pulling in the whole
+// cache template. One lookup lands in exactly one bucket: `hits` (present,
+// current version), `stale` (present, superseded version — the entry will
+// be recomputed and refreshed), or `misses` (absent).
+#pragma once
+
+#include <cstdint>
+
+namespace gcube {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return hits + misses + stale;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = lookups();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  CacheStats& operator+=(const CacheStats& o) noexcept {
+    hits += o.hits;
+    misses += o.misses;
+    stale += o.stale;
+    return *this;
+  }
+  /// Delta of two cumulative snapshots (end - start of a measurement
+  /// window). Precondition: *this is the later snapshot.
+  [[nodiscard]] CacheStats operator-(const CacheStats& o) const noexcept {
+    return {hits - o.hits, misses - o.misses, stale - o.stale};
+  }
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+}  // namespace gcube

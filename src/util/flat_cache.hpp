@@ -13,6 +13,13 @@
 // treats the entry as a miss, and the following insert refreshes the slot
 // in place. No global invalidation pass exists, so a version bump costs
 // nothing up front and the table stays allocation-free once warm.
+//
+// Every lookup is tallied per shard (hit / miss / stale, under the shard
+// mutex it already holds) and aggregated by stats(), so cache-effectiveness
+// claims are measured rather than asserted. The counters are diagnostics:
+// under concurrent use two threads can both miss on a key one of them is
+// about to fill, so totals may differ run to run even when the cached
+// values — which are pure functions of (key, version) — do not.
 #pragma once
 
 #include <array>
@@ -21,6 +28,9 @@
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/cache_stats.hpp"
+#include "util/rng.hpp"
 
 namespace gcube {
 
@@ -36,13 +46,23 @@ class ShardedVersionCache {
                                       std::uint64_t version) const {
     Shard& shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.slots.empty()) return std::nullopt;
+    if (shard.slots.empty()) {
+      ++shard.stats.misses;
+      return std::nullopt;
+    }
     const std::size_t mask = shard.slots.size() - 1;
     for (std::size_t i = probe_start(key) & mask;; i = (i + 1) & mask) {
       const Entry& e = shard.slots[i];
-      if (e.key == kEmptyKey) return std::nullopt;
+      if (e.key == kEmptyKey) {
+        ++shard.stats.misses;
+        return std::nullopt;
+      }
       if (e.key == key) {
-        if (e.version != version) return std::nullopt;  // stale: recompute
+        if (e.version != version) {
+          ++shard.stats.stale;  // superseded entry: recompute and refresh
+          return std::nullopt;
+        }
+        ++shard.stats.hits;
         return e.value;
       }
     }
@@ -71,6 +91,16 @@ class ShardedVersionCache {
     return total;
   }
 
+  /// Cumulative lookup counters since construction, summed across shards.
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats total;
+    for (Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.stats;
+    }
+    return total;
+  }
+
  private:
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
   static constexpr std::size_t kShardBits = 6;  // 64 shards
@@ -85,25 +115,18 @@ class ShardedVersionCache {
     mutable std::mutex mu;
     std::vector<Entry> slots;  // power-of-two size; empty until first use
     std::size_t used = 0;      // occupied slots, any version
+    CacheStats stats;          // lookup counters, guarded by mu
   };
 
-  /// splitmix64 finalizer: packed node pairs are highly regular, so the
-  /// raw key must be scrambled before it picks a shard and a slot.
-  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ULL;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    return x;
-  }
+  // Packed node pairs are highly regular, so the raw key is scrambled
+  // (mix64, the splitmix finalizer) before it picks a shard and a slot.
   [[nodiscard]] Shard& shard_for(std::uint64_t key) const noexcept {
-    return shards_[mix(key) & ((std::size_t{1} << kShardBits) - 1)];
+    return shards_[mix64(key) & ((std::size_t{1} << kShardBits) - 1)];
   }
   /// Slot probing uses the bits the shard choice did not consume.
   [[nodiscard]] static constexpr std::size_t probe_start(
       std::uint64_t key) noexcept {
-    return static_cast<std::size_t>(mix(key) >> kShardBits);
+    return static_cast<std::size_t>(mix64(key) >> kShardBits);
   }
 
   static void place(Shard& shard, std::uint64_t key, std::uint64_t version,

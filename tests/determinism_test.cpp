@@ -1,0 +1,157 @@
+// The parallel core's determinism contract, as a property test.
+//
+// For a fixed seed, the full SimMetrics of a run — latency histogram
+// included — must be bit-identical for ANY thread count, because every
+// per-node decision depends only on start-of-cycle committed state,
+// per-(node, cycle) counter RNG draws, and canonical (source-ascending)
+// queue order. The matrix here crosses topologies {GC(8,2), GC(10,4)},
+// fault regimes {static pattern, mid-run schedule}, and thread counts
+// {1, 2, 4, hardware, auto}; explicit counts above the core count
+// genuinely oversubscribe (SimConfig::threads is exact), so this exercises
+// real interleavings even on small CI machines. The same binary runs under
+// the ThreadSanitizer CI job.
+//
+// Cache counters (SimMetrics::plan_cache / hop_cache) are deliberately NOT
+// compared: the hit/miss split depends on which worker reaches a cold key
+// first. deterministic_equals() excludes them by contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+#include "topology/gaussian_cube.hpp"
+
+namespace gcube {
+namespace {
+
+/// Field-by-field comparison so a contract violation names the metric that
+/// diverged instead of a bare deterministic_equals() == false.
+void expect_identical(const SimMetrics& got, const SimMetrics& want,
+                      const std::string& label) {
+  EXPECT_EQ(got.generated, want.generated) << label;
+  EXPECT_EQ(got.delivered, want.delivered) << label;
+  EXPECT_EQ(got.dropped, want.dropped) << label;
+  EXPECT_EQ(got.total_latency, want.total_latency) << label;
+  EXPECT_EQ(got.total_hops, want.total_hops) << label;
+  EXPECT_EQ(got.service_ops, want.service_ops) << label;
+  EXPECT_EQ(got.peak_in_flight, want.peak_in_flight) << label;
+  EXPECT_EQ(got.injections_blocked, want.injections_blocked) << label;
+  EXPECT_EQ(got.stalled_cycles, want.stalled_cycles) << label;
+  EXPECT_EQ(got.deadlocked, want.deadlocked) << label;
+  EXPECT_EQ(got.fault_events, want.fault_events) << label;
+  EXPECT_EQ(got.reroutes, want.reroutes) << label;
+  EXPECT_EQ(got.dropped_en_route, want.dropped_en_route) << label;
+  EXPECT_EQ(got.orphaned_by_node_fault, want.orphaned_by_node_fault)
+      << label;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(got.latency_histogram.bucket(i),
+              want.latency_histogram.bucket(i))
+        << label << " histogram bucket " << i;
+  }
+  EXPECT_TRUE(got.deterministic_equals(want)) << label;
+}
+
+std::vector<std::uint32_t> thread_matrix() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // 0 = auto (ThreadBudget grant) rides along: whatever it resolves to
+  // must produce the same metrics too.
+  return {1, 2, 4, hw, 0};
+}
+
+void expect_thread_invariant(GcSimSpec spec, const std::string& label) {
+  spec.sim.threads = 1;
+  const GcSimOutcome baseline = run_gc_simulation(spec);
+  ASSERT_GT(baseline.metrics.generated, 0u) << label << ": inert workload";
+  for (const std::uint32_t threads : thread_matrix()) {
+    if (threads == 1) continue;
+    spec.sim.threads = threads;
+    const GcSimOutcome outcome = run_gc_simulation(spec);
+    expect_identical(outcome.metrics, baseline.metrics,
+                     label + " threads=" + std::to_string(threads) +
+                         " vs threads=1");
+  }
+}
+
+GcSimSpec base_spec(Dim n, std::uint64_t modulus) {
+  GcSimSpec spec;
+  spec.n = n;
+  spec.modulus = modulus;
+  spec.router = SimRouterKind::kFtgcr;
+  spec.sim.injection_rate = 0.05;
+  spec.sim.warmup_cycles = 30;
+  spec.sim.measure_cycles = 200;
+  spec.sim.seed = 99;
+  return spec;
+}
+
+/// Mid-run node and link deaths straddling the warmup boundary, built on
+/// the topology's own size so both cells stress orphaning, re-routing, and
+/// en-route drops.
+FaultSchedule scheduled_faults(const GcSimSpec& spec) {
+  const GaussianCube gc(spec.n, spec.modulus);
+  const NodeId nodes = static_cast<NodeId>(gc.node_count());
+  FaultSchedule schedule;
+  schedule.fail_node_at(10, nodes / 3);
+  schedule.fail_link_at(10, nodes / 2 + 1, 0);
+  schedule.fail_node_at(45, nodes / 5 + 2);
+  schedule.fail_link_at(90, nodes - 7, 1);
+  schedule.fail_node_at(140, 2 * nodes / 3);
+  return schedule;
+}
+
+TEST(Determinism, Gc8x2StaticFaults) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  expect_thread_invariant(spec, "GC(8,2) static");
+}
+
+TEST(Determinism, Gc8x2ScheduledFaults) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.schedule = scheduled_faults(spec);
+  expect_thread_invariant(spec, "GC(8,2) scheduled");
+}
+
+TEST(Determinism, Gc10x4StaticFaults) {
+  GcSimSpec spec = base_spec(10, 4);
+  spec.faulty_nodes = 6;
+  spec.sim.injection_rate = 0.04;
+  expect_thread_invariant(spec, "GC(10,4) static");
+}
+
+TEST(Determinism, Gc10x4ScheduledFaults) {
+  GcSimSpec spec = base_spec(10, 4);
+  spec.sim.injection_rate = 0.04;
+  spec.schedule = scheduled_faults(spec);
+  expect_thread_invariant(spec, "GC(10,4) scheduled");
+}
+
+TEST(Determinism, FiniteBuffersBackpressureIsThreadInvariant) {
+  // Exercises the snapshot-occupancy backpressure path and blocked
+  // injections — the part of the contract that replaced live occupancy.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 3;
+  spec.sim.injection_rate = 0.20;
+  spec.sim.buffer_limit = 3;
+  expect_thread_invariant(spec, "GC(8,2) finite buffers");
+}
+
+TEST(Determinism, RepeatedRunsOfOneSimulatorAgree) {
+  // run() rebuilds all state, so the same NetworkSim must reproduce
+  // itself — and the cache counters must show the sim actually exercised
+  // the router's memoization during measurement.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  spec.sim.threads = 2;
+  const GcSimOutcome a = run_gc_simulation(spec);
+  const GcSimOutcome b = run_gc_simulation(spec);
+  expect_identical(a.metrics, b.metrics, "repeat run");
+  EXPECT_GT(a.metrics.plan_cache.lookups(), 0u);
+}
+
+}  // namespace
+}  // namespace gcube

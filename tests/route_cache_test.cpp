@@ -117,6 +117,68 @@ TEST(RouteCacheTest, FtgcrCachedQueriesMatchFreshAcrossMutations) {
   }
 }
 
+TEST(RouteCacheTest, CountersTallyHitsMissesAndStale) {
+  const GaussianCube gc(8, 2);
+  FaultSet faults;
+  const FtgcrRouter router(gc, faults);
+  EXPECT_EQ(router.cache_stats().plan.lookups(), 0u);
+  EXPECT_EQ(router.cache_stats().hop.lookups(), 0u);
+
+  (void)router.plan_shared(3, 200);  // cold: one plan miss
+  const RouterCacheStats cold = router.cache_stats();
+  EXPECT_EQ(cold.plan.misses, 1u);
+  EXPECT_EQ(cold.plan.hits, 0u);
+  EXPECT_EQ(cold.plan.stale, 0u);
+
+  (void)router.plan_shared(3, 200);  // warm: one plan hit
+  const RouterCacheStats warm = router.cache_stats();
+  EXPECT_EQ(warm.plan.hits, 1u);
+  EXPECT_EQ(warm.plan.misses, 1u);
+
+  // A cold next_hop misses the hop cache, then warms itself through
+  // plan_shared — which hits the route just cached above.
+  (void)router.next_hop(3, 200);
+  const RouterCacheStats hop_cold = router.cache_stats();
+  EXPECT_EQ(hop_cold.hop.misses, 1u);
+  EXPECT_EQ(hop_cold.hop.hits, 0u);
+  EXPECT_EQ(hop_cold.plan.hits, 2u);
+  (void)router.next_hop(3, 200);
+  EXPECT_EQ(router.cache_stats().hop.hits, 1u);
+
+  // A fault-set mutation strands every cached entry behind an old version
+  // stamp: the next lookups find them and count them stale, not hit.
+  faults.fail_node(70);
+  (void)router.plan_shared(3, 200);
+  (void)router.next_hop(3, 200);
+  const RouterCacheStats bumped = router.cache_stats();
+  EXPECT_EQ(bumped.plan.stale, 1u);
+  EXPECT_EQ(bumped.hop.stale, 1u);
+  EXPECT_EQ(bumped.plan.hits, 3u);  // next_hop's refill hits the refresh
+
+  // Snapshot deltas scope counters to a window.
+  const RouterCacheStats window = bumped - warm;
+  EXPECT_EQ(window.plan.stale, 1u);
+  EXPECT_EQ(window.plan.misses, 0u);
+  EXPECT_EQ(window.hop.lookups(), 3u);  // cold miss, warm hit, stale
+}
+
+TEST(RouteCacheTest, FfgcrCountersNeverGoStale) {
+  const GaussianCube gc(8, 2);
+  const FfgcrRouter router(gc);
+  for (int pass = 0; pass < 3; ++pass) {
+    (void)router.plan_shared(1, 77);
+    (void)router.next_hop(1, 77);
+  }
+  const RouterCacheStats stats = router.cache_stats();
+  EXPECT_EQ(stats.plan.misses, 1u);
+  // 3 hits: passes 2 and 3, plus next_hop's pass-1 refill via plan_shared.
+  EXPECT_EQ(stats.plan.hits, 3u);
+  EXPECT_EQ(stats.plan.stale, 0u);  // fault-blind: no version to outdate
+  EXPECT_EQ(stats.hop.misses, 1u);
+  EXPECT_EQ(stats.hop.hits, 2u);
+  EXPECT_EQ(stats.hop.stale, 0u);
+}
+
 TEST(RouteCacheTest, FtgcrRepeatedQueriesAreStableWithinVersion) {
   const GaussianCube gc(10, 4);
   FaultSet faults;

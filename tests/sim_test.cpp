@@ -133,6 +133,39 @@ TEST(NetworkSim, PeakInFlightGrowsWithLoad) {
   EXPECT_GT(m_high.peak_in_flight, m_low.peak_in_flight);
 }
 
+TEST(NetworkSim, PeakInFlightIsScopedToMeasurementWindow) {
+  // Regression: peak_in_flight used to update during warmup too, so a
+  // congested warmup polluted a measured statistic. Arrange a run whose
+  // in-flight peak falls squarely in warmup — half the network dies on the
+  // last warmup cycle — and check the measured peak is lower than what a
+  // run measuring from cycle 0 (same seed, same counter-RNG draw streams,
+  // same schedule) sees over the full window.
+  const GaussianCube gc(8, 2);
+  FaultSet live_a;
+  const FtgcrRouter router_a(gc, live_a);
+  FaultSet live_b;
+  const FtgcrRouter router_b(gc, live_b);
+  FaultSchedule mass_kill;
+  for (NodeId u = 0; u < gc.node_count(); u += 2) {
+    mass_kill.fail_node_at(99, u);
+  }
+  SimConfig gated;
+  gated.injection_rate = 0.10;
+  gated.seed = 99;
+  gated.warmup_cycles = 100;
+  gated.measure_cycles = 50;
+  SimConfig full = gated;
+  full.warmup_cycles = 0;
+  full.measure_cycles = 150;
+  const SimMetrics m_gated =
+      NetworkSim(gc, router_a, live_a, gated, mass_kill).run();
+  const SimMetrics m_full =
+      NetworkSim(gc, router_b, live_b, full, mass_kill).run();
+  EXPECT_GT(m_gated.peak_in_flight, 0u);
+  EXPECT_LT(m_gated.peak_in_flight, m_full.peak_in_flight)
+      << "warmup congestion leaked into the measured peak";
+}
+
 TEST(NetworkSim, ServiceOpsAccountForHops) {
   // Every delivered packet is handled hops+1 times (each forward plus the
   // final delivery), so over a long window service_ops stays close to
@@ -210,6 +243,7 @@ void expect_same_metrics(const SimMetrics& a, const SimMetrics& b) {
   for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
     EXPECT_EQ(a.latency_histogram.bucket(i), b.latency_histogram.bucket(i));
   }
+  EXPECT_TRUE(a.deterministic_equals(b));
 }
 
 TEST(DynamicFaults, EmptyScheduleReproducesStaticModeBitForBit) {
@@ -416,7 +450,7 @@ TEST(Traffic, DestinationsAvoidFaultsAndSelf) {
   FaultSet faults;
   faults.fail_node(3);
   const UniformTraffic traffic(16, 0.5, faults, 1);
-  Xoshiro256 rng(1);
+  CounterRng rng(counter_key(1, 0, 0));
   for (int i = 0; i < 500; ++i) {
     const NodeId d = traffic.pick_destination(5, rng);
     EXPECT_NE(d, 5u);

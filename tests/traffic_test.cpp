@@ -16,7 +16,7 @@ namespace {
 TEST(PatternTraffic, BitComplement) {
   const FaultSet none;
   const PatternTraffic t(6, 0.1, none, 1, TrafficPattern::kBitComplement);
-  Xoshiro256 rng(1);
+  CounterRng rng(counter_key(1, 0, 0));
   EXPECT_EQ(t.pick_destination(0b000000, rng), 0b111111u);
   EXPECT_EQ(t.pick_destination(0b101010, rng), 0b010101u);
 }
@@ -24,7 +24,7 @@ TEST(PatternTraffic, BitComplement) {
 TEST(PatternTraffic, BitReversal) {
   const FaultSet none;
   const PatternTraffic t(6, 0.1, none, 1, TrafficPattern::kBitReversal);
-  Xoshiro256 rng(1);
+  CounterRng rng(counter_key(1, 0, 0));
   EXPECT_EQ(t.pick_destination(0b100000, rng), 0b000001u);
   EXPECT_EQ(t.pick_destination(0b110100, rng), 0b001011u);
 }
@@ -32,7 +32,7 @@ TEST(PatternTraffic, BitReversal) {
 TEST(PatternTraffic, Transpose) {
   const FaultSet none;
   const PatternTraffic t(6, 0.1, none, 1, TrafficPattern::kTranspose);
-  Xoshiro256 rng(1);
+  CounterRng rng(counter_key(1, 0, 0));
   // Rotate by n/2 = 3.
   EXPECT_EQ(t.pick_destination(0b000111, rng), 0b111000u);
   EXPECT_EQ(t.pick_destination(0b101000, rng), 0b000101u);
@@ -41,7 +41,7 @@ TEST(PatternTraffic, Transpose) {
 TEST(PatternTraffic, SelfMappingFallsBackToUniform) {
   const FaultSet none;
   const PatternTraffic t(6, 0.1, none, 1, TrafficPattern::kBitReversal);
-  Xoshiro256 rng(1);
+  CounterRng rng(counter_key(1, 0, 0));
   // A palindromic label maps to itself; the fallback must avoid self.
   const NodeId palindrome = 0b100001;
   for (int i = 0; i < 50; ++i) {
@@ -53,7 +53,7 @@ TEST(PatternTraffic, FaultyPatternDestinationFallsBack) {
   FaultSet faults;
   faults.fail_node(0b111111);
   const PatternTraffic t(6, 0.1, faults, 1, TrafficPattern::kBitComplement);
-  Xoshiro256 rng(1);
+  CounterRng rng(counter_key(1, 0, 0));
   for (int i = 0; i < 50; ++i) {
     const NodeId d = t.pick_destination(0, rng);
     EXPECT_NE(d, 0b111111u);
@@ -66,7 +66,7 @@ TEST(PatternTraffic, HotspotConcentratesTraffic) {
   const NodeId hot = 13;
   const PatternTraffic t(6, 0.1, none, 1, TrafficPattern::kHotspot, hot,
                          0.5);
-  Xoshiro256 rng(7);
+  CounterRng rng(counter_key(7, 0, 0));
   std::map<NodeId, int> counts;
   for (int i = 0; i < 4000; ++i) {
     ++counts[t.pick_destination(0, rng)];
