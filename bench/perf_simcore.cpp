@@ -42,11 +42,11 @@ using namespace gcube;
 
 // Pre-PR measurement of the headline cell (GC(10, 4), FTGCR, 12 static
 // faults, rate 0.05, 300 + 4000 cycles, seed 4242), best of 3 on the
-// reference container: packets/sec delivered by the serial (PR 2)
-// NetworkSim::run(). The threads=1 cell is held to within 5% of this; the
-// threads=4 cell is the scaling headline. Re-measure with
-// `git checkout <PR 2>` if the hardware changes.
-constexpr double kBaselineHeadlinePacketsPerSec = 782300.0;
+// reference container: packets/sec delivered by the node-sharded (PR 3)
+// NetworkSim::run() at threads=1. The current threads=1 cell — now served
+// by the next-hop fabric + active-set loop — is judged against this.
+// Re-measure with `git checkout <PR 3>` if the hardware changes.
+constexpr double kBaselineHeadlinePacketsPerSec = 865743.0;
 
 struct CellSpec {
   std::string name;
@@ -61,6 +61,8 @@ struct CellSpec {
   bool quick_only_shrink = true;
   std::uint32_t threads = 1;      // SimConfig::threads (exact worker count)
   std::string scaling_base;       // name of the threads=1 cell to divide by
+  bool legacy = false;            // run with fabric + active_set disabled
+  std::string legacy_base;        // legacy twin cell: emit speedup_vs_legacy
 };
 
 struct CellResult {
@@ -117,6 +119,11 @@ CellResult run_cell(const CellSpec& spec, int reps) {
   cfg.measure_cycles = spec.measure;
   cfg.seed = 4242;
   cfg.threads = spec.threads;
+  // The scaling companions need their exact worker counts even on boxes
+  // with fewer cores, so the curve stays comparable across machines.
+  cfg.allow_oversubscribe = true;
+  cfg.fabric = !spec.legacy;
+  cfg.active_set = !spec.legacy;
 
   CellResult result;
   result.spec = spec;
@@ -152,10 +159,10 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   out.precision(6);
   out << "{\n"
       << "  \"bench\": \"perf_simcore\",\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"baseline\": {\n"
-      << "    \"label\": \"pre-PR (PR 2, serial core)\",\n"
+      << "    \"label\": \"pre-PR (PR 3, sharded core)\",\n"
       << "    \"headline_cell\": \"gc10x4_ftgcr_static\",\n"
       << "    \"packets_per_sec\": " << kBaselineHeadlinePacketsPerSec
       << "\n  },\n"
@@ -172,10 +179,15 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
         << "      \"warmup_cycles\": " << c.spec.warmup << ",\n"
         << "      \"measure_cycles\": " << c.spec.measure << ",\n"
         << "      \"threads\": " << c.spec.threads << ",\n"
+        << "      \"fabric\": " << (c.spec.legacy ? "false" : "true") << ",\n"
+        << "      \"active_set\": " << (c.spec.legacy ? "false" : "true")
+        << ",\n"
         << "      \"seconds\": " << c.seconds << ",\n"
         << "      \"cycles_per_sec\": " << c.cycles_per_sec() << ",\n"
         << "      \"generated\": " << c.metrics.generated << ",\n"
         << "      \"delivered\": " << c.metrics.delivered << ",\n"
+        << "      \"carryover_delivered\": " << c.metrics.carryover_delivered
+        << ",\n"
         << "      \"total_hops\": " << c.metrics.total_hops << ",\n"
         << "      \"packets_per_sec\": " << c.packets_per_sec() << ",\n"
         << "      \"hops_per_sec\": " << c.hops_per_sec();
@@ -189,6 +201,13 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
       const double base = cell_packets_per_sec(cells, c.spec.scaling_base);
       if (base > 0.0) {
         out << ",\n      \"speedup_vs_threads1\": "
+            << c.packets_per_sec() / base;
+      }
+    }
+    if (!c.spec.legacy_base.empty()) {
+      const double base = cell_packets_per_sec(cells, c.spec.legacy_base);
+      if (base > 0.0) {
+        out << ",\n      \"speedup_vs_legacy\": "
             << c.packets_per_sec() / base;
       }
     }
@@ -211,22 +230,32 @@ int main(int argc, char** argv) {
 
   std::vector<CellSpec> specs{
       {"gc8x2_ffgcr_faultfree", 8, 2, "FFGCR", 0, 0.05, 300, 4000, false,
-       true, 1, ""},
+       true, 1, "", false, ""},
       {"gc10x4_ffgcr_faultfree", 10, 4, "FFGCR", 0, 0.05, 300, 4000, false,
-       true, 1, ""},
+       true, 1, "", false, ""},
       {"gc10x4_ftgcr_static", 10, 4, "FTGCR", 12, 0.05, 300, 4000, true,
-       true, 1, ""},
+       true, 1, "", false, ""},
       // Thread-scaling companions of the headline cell: identical workload,
       // exact worker counts. Metrics are bit-identical across all three by
       // the determinism contract; only wall time may differ.
       {"gc10x4_ftgcr_static_t2", 10, 4, "FTGCR", 12, 0.05, 300, 4000, false,
-       true, 2, "gc10x4_ftgcr_static"},
+       true, 2, "gc10x4_ftgcr_static", false, ""},
       {"gc10x4_ftgcr_static_t4", 10, 4, "FTGCR", 12, 0.05, 300, 4000, false,
-       true, 4, "gc10x4_ftgcr_static"},
+       true, 4, "gc10x4_ftgcr_static", false, ""},
       {"gc10x1_ecube_faultfree", 10, 1, "ECUBE", 0, 0.05, 300, 4000, false,
-       true, 1, ""},
+       true, 1, "", false, ""},
       {"gc12x4_ftgcr_static", 12, 4, "FTGCR", 16, 0.02, 300, 1500, false,
-       false, 1, ""},
+       false, 1, "", false, ""},
+      // Low-injection pair: at 1% load most nodes idle most cycles, which
+      // is where the active-set worklist (skip idle nodes entirely) pays;
+      // the _legacy twin runs the identical workload with fabric and
+      // active_set disabled and speedup_vs_legacy is their ratio. Fault-free
+      // on purpose: the pair isolates the cycle-loop change, and faults
+      // would mix steering-adoption costs (a fabric property) into it.
+      {"gc10x4_ftgcr_lowinj", 10, 4, "FTGCR", 0, 0.01, 300, 4000, false,
+       true, 1, "", false, "gc10x4_ftgcr_lowinj_legacy"},
+      {"gc10x4_ftgcr_lowinj_legacy", 10, 4, "FTGCR", 0, 0.01, 300, 4000,
+       false, true, 1, "", true, ""},
   };
   if (quick) {
     std::vector<CellSpec> trimmed;
@@ -277,6 +306,14 @@ int main(int argc, char** argv) {
         std::cout << "scaling " << c.spec.name << ": "
                   << fmt_double(c.packets_per_sec() / base, 2)
                   << "x vs threads=1\n";
+      }
+    }
+    if (!c.spec.legacy_base.empty()) {
+      const double base = cell_packets_per_sec(cells, c.spec.legacy_base);
+      if (base > 0.0) {
+        std::cout << "active-set " << c.spec.name << ": "
+                  << fmt_double(c.packets_per_sec() / base, 2)
+                  << "x vs legacy scan\n";
       }
     }
   }

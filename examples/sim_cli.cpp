@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
     CliArgs args(argc, argv);
     args.allow({"n", "modulus", "rate", "cycles", "warmup", "faults",
                 "pattern", "seed", "buffers", "service", "router",
-                "fault-schedule", "fault-rate", "threads", "help"});
+                "fault-schedule", "fault-rate", "threads", "oversubscribe",
+                "no-fabric", "no-active-set", "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
@@ -62,12 +63,19 @@ int main(int argc, char** argv) {
           << "               [--seed S] [--buffers B] [--service K]\n"
           << "               [--router auto|ffgcr|ftgcr|ecube]\n"
           << "               [--fault-schedule FILE] [--fault-rate R]\n"
-          << "               [--threads T]\n"
+          << "               [--threads T] [--oversubscribe]\n"
+          << "               [--no-fabric] [--no-active-set]\n"
           << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
           << "scheduled events mutate the network mid-run and packets\n"
           << "re-route per hop around faults discovered en route.\n"
           << "--threads: simulation worker threads (0 = auto). Metrics\n"
-          << "are bit-identical for any thread count at a fixed seed.\n";
+          << "are bit-identical for any thread count at a fixed seed;\n"
+          << "counts above the core count are clamped unless\n"
+          << "--oversubscribe is given.\n"
+          << "--no-fabric: disable table-driven next-hop steering (plan\n"
+          << "each route at injection instead).\n"
+          << "--no-active-set: disable the active-set cycle loop (scan\n"
+          << "every node each cycle, per-cycle Bernoulli injection).\n";
       return 0;
     }
     GcSimSpec spec;
@@ -91,6 +99,9 @@ int main(int argc, char** argv) {
     spec.sim.service_rate =
         static_cast<std::uint32_t>(args.get_int("service", 4));
     spec.sim.threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
+    spec.sim.allow_oversubscribe = args.get_bool("oversubscribe");
+    spec.sim.fabric = !args.get_bool("no-fabric");
+    spec.sim.active_set = !args.get_bool("no-active-set");
 
     const GcSimOutcome outcome = run_gc_simulation(spec);
     const SimMetrics& m = outcome.metrics;
@@ -105,6 +116,8 @@ int main(int argc, char** argv) {
     table.add_row({"generated (offered)", std::to_string(m.generated)});
     table.add_row({"accepted", std::to_string(m.accepted())});
     table.add_row({"delivered", std::to_string(m.delivered)});
+    table.add_row({"carryover delivered (warmup-born)",
+                   std::to_string(m.carryover_delivered)});
     table.add_row({"delivery ratio", fmt_double(m.delivery_ratio(), 4)});
     table.add_row({"dropped (at injection)", std::to_string(m.dropped)});
     table.add_row({"reroutes", std::to_string(m.reroutes)});

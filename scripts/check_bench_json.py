@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Schema and sanity check for perf_simcore's BENCH_simcore.json.
+
+CI runs this right after the benchmark. Wall-clock throughput is NOT
+gated (shared runners make absolute numbers indicative only); what IS
+gated is that the benchmark produced a well-formed report: the headline
+cell exists and carries its speedup field, scaling and legacy-twin cells
+carry theirs, and the per-cell counters are internally consistent
+(delivered can never exceed offered load, throughput must match
+delivered / seconds). A malformed or truncated JSON fails the build.
+
+Usage: check_bench_json.py BENCH_simcore.json
+"""
+
+import json
+import sys
+
+REQUIRED_CELL_FIELDS = (
+    "name", "topology", "router", "static_faults", "injection_rate",
+    "warmup_cycles", "measure_cycles", "threads", "fabric", "active_set",
+    "seconds", "cycles_per_sec", "generated", "delivered",
+    "carryover_delivered", "total_hops", "packets_per_sec", "hops_per_sec",
+)
+
+# packets_per_sec is serialized with %.6g; allow generous rounding slack.
+THROUGHPUT_REL_TOL = 0.02
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_cell(cell):
+    name = cell.get("name", "<unnamed>")
+    for field in REQUIRED_CELL_FIELDS:
+        if field not in cell:
+            fail(f"cell {name}: missing field '{field}'")
+    if cell["seconds"] <= 0:
+        fail(f"cell {name}: nonpositive seconds {cell['seconds']}")
+    if cell["carryover_delivered"] < 0:
+        fail(f"cell {name}: negative carryover_delivered")
+    # delivered counts only measurement-window-born packets; carryover
+    # deliveries are tallied separately, so this must hold exactly.
+    if cell["delivered"] > cell["generated"]:
+        fail(f"cell {name}: delivered {cell['delivered']} exceeds "
+             f"generated {cell['generated']}")
+    if cell["delivered"] > cell["generated"] + cell["carryover_delivered"]:
+        fail(f"cell {name}: delivered exceeds generated + carryover")
+    expect_pps = cell["delivered"] / cell["seconds"]
+    got_pps = cell["packets_per_sec"]
+    if expect_pps > 0 and abs(got_pps - expect_pps) > THROUGHPUT_REL_TOL * expect_pps:
+        fail(f"cell {name}: packets_per_sec {got_pps} inconsistent with "
+             f"delivered/seconds = {expect_pps:.0f}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH_simcore.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {sys.argv[1]}: {err}")
+
+    if report.get("bench") != "perf_simcore":
+        fail(f"unexpected bench id {report.get('bench')!r}")
+    if report.get("schema_version", 0) < 2:
+        fail(f"schema_version {report.get('schema_version')!r} < 2")
+
+    baseline = report.get("baseline")
+    if not isinstance(baseline, dict):
+        fail("missing baseline object")
+    headline_name = baseline.get("headline_cell")
+    if not headline_name:
+        fail("baseline.headline_cell missing")
+    if baseline.get("packets_per_sec", 0) <= 0:
+        fail("baseline.packets_per_sec missing or nonpositive")
+
+    cells = report.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("cells missing or empty")
+    by_name = {}
+    for cell in cells:
+        check_cell(cell)
+        by_name[cell["name"]] = cell
+
+    headline = by_name.get(headline_name)
+    if headline is None:
+        fail(f"headline cell {headline_name!r} not in report")
+    if "speedup_vs_baseline" not in headline:
+        fail(f"headline cell {headline_name!r} lacks speedup_vs_baseline")
+    if headline["speedup_vs_baseline"] <= 0:
+        fail("headline speedup_vs_baseline must be positive")
+
+    for name, cell in by_name.items():
+        # A cell with a <name>_legacy twin is an active-set comparison pair
+        # and must report the measured ratio.
+        if f"{name}_legacy" in by_name and "speedup_vs_legacy" not in cell:
+            fail(f"cell {name}: has a legacy twin but no speedup_vs_legacy")
+        # Thread-scaling cells (threads > 1 against a named 1-thread base)
+        # must report their curve point.
+        if cell["threads"] > 1 and "speedup_vs_threads1" not in cell:
+            fail(f"cell {name}: threads={cell['threads']} but no "
+                 "speedup_vs_threads1")
+
+    print(f"check_bench_json: OK: {len(cells)} cells, headline "
+          f"{headline_name} speedup_vs_baseline="
+          f"{headline['speedup_vs_baseline']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,10 @@ void FaultSet::fail_link(NodeId u, Dim c) {
 }
 
 void FaultSet::clear() {
-  if (!empty()) ++version_;
+  if (!empty()) {
+    ++version_;
+    ++generation_;
+  }
   faulty_nodes_.clear();
   faulty_links_.clear();
   faulty_nodes_set_.clear();

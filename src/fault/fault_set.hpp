@@ -60,6 +60,14 @@ class FaultSet {
   /// memoization) compare versions instead of subscribing to callbacks.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
+  /// Number of clear() calls that discarded entries. Incremental consumers
+  /// of the insertion-order vectors (fault/overlay.hpp) use this to tell
+  /// "entries appended" from "entries discarded and re-added", which a
+  /// version move alone cannot distinguish.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
   [[nodiscard]] std::size_t node_fault_count() const {
     return faulty_nodes_.size();
   }
@@ -90,6 +98,7 @@ class FaultSet {
   std::unordered_set<NodeId> faulty_nodes_set_;
   std::unordered_set<std::uint64_t> faulty_links_set_;
   std::uint64_t version_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace gcube

@@ -42,7 +42,7 @@ std::shared_ptr<const GcRoutePlan> GcItineraryCache::get(
 }
 
 FfgcrRouter::FfgcrRouter(const GaussianCube& gc)
-    : gc_(gc), tree_(gc.alpha()) {}
+    : gc_(gc), tree_(gc.alpha()), fabric_(gc) {}
 
 Route FfgcrRouter::build_route(NodeId s, NodeId d) const {
   const std::shared_ptr<const GcRoutePlan> itinerary =
@@ -102,6 +102,7 @@ std::shared_ptr<const Route> FfgcrRouter::plan_shared(NodeId s,
 
 std::optional<Dim> FfgcrRouter::next_hop(NodeId cur, NodeId dst) const {
   if (cur == dst) return std::nullopt;
+  if (fabric_.supported()) return fabric_.fault_free_hop(cur, dst);
   const std::uint64_t key = pack_node_pair(cur, dst);
   if (auto hit = hop_cache_.find(key, 0)) return *hit;
   const std::shared_ptr<const Route> route = plan_shared(cur, dst);

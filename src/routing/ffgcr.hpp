@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "routing/next_hop_table.hpp"
 #include "routing/router.hpp"
 #include "topology/gaussian_cube.hpp"
 #include "topology/gaussian_tree.hpp"
@@ -73,14 +74,19 @@ class FfgcrRouter final : public Router {
   /// Memoized shared route; FFGCR never fails, so the result is non-null.
   [[nodiscard]] std::shared_ptr<const Route> plan_shared(
       NodeId s, NodeId d) const override;
-  /// Memoized stepwise plan. FFGCR is fault-blind, so entries never go
-  /// stale; routes are optimal, so first-hop iteration strictly shrinks the
-  /// remaining distance and always terminates at dst.
+  /// Stepwise plan: a table lookup through the next-hop fabric when the
+  /// modulus supports it (no caches touched), the memoized plan-based path
+  /// otherwise. Routes are optimal either way, so first-hop iteration
+  /// strictly shrinks the remaining distance and always terminates at dst.
   [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
                                             NodeId dst) const override;
-  /// Counters for the (s, d) route cache and the (cur, dst) hop cache.
+  /// Counters for the (s, d) route cache and the (cur, dst) hop cache; the
+  /// hop cache stays untouched (all-zero) when the fabric serves next_hop.
   [[nodiscard]] RouterCacheStats cache_stats() const override {
     return {plan_cache_.stats(), hop_cache_.stats()};
+  }
+  [[nodiscard]] const NextHopFabric* fabric() const override {
+    return &fabric_;
   }
   [[nodiscard]] std::string name() const override { return "FFGCR"; }
 
@@ -97,6 +103,7 @@ class FfgcrRouter final : public Router {
 
   const GaussianCube& gc_;
   GaussianTree tree_;
+  NextHopFabric fabric_;
   mutable GcItineraryCache itineraries_;
   mutable ShardedVersionCache<std::shared_ptr<const Route>> plan_cache_;
   mutable ShardedVersionCache<Dim> hop_cache_;

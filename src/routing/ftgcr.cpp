@@ -13,7 +13,7 @@
 namespace gcube {
 
 FtgcrRouter::FtgcrRouter(const GaussianCube& gc, const FaultSet& faults)
-    : gc_(gc), faults_(faults), tree_(gc.alpha()) {}
+    : gc_(gc), faults_(faults), tree_(gc.alpha()), fabric_(gc) {}
 
 RoutingResult FtgcrRouter::plan(NodeId s, NodeId d) const {
   FtgcrStats stats;
@@ -349,6 +349,14 @@ std::shared_ptr<const Route> FtgcrRouter::plan_shared(NodeId s,
 
 std::optional<Dim> FtgcrRouter::next_hop(NodeId cur, NodeId dst) const {
   if (cur == dst) return std::nullopt;
+  // Fault-free fast path: with zero faults every route is clean, so the
+  // machinery's first hop is FFGCR's — a pure table lookup. Gated on
+  // faults_.empty(), NOT on cur being locally clean: a fault anywhere
+  // downstream can steer informed_subcube_route onto a different first
+  // dimension even at a node whose own links are all usable.
+  if (fabric_.supported() && faults_.empty()) {
+    return fabric_.fault_free_hop(cur, dst);
+  }
   const std::uint64_t key = pack_node_pair(cur, dst);
   const std::uint64_t version = faults_.version();
   if (auto hit = hop_cache_.find(key, version)) return *hit;

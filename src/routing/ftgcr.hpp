@@ -33,6 +33,7 @@
 
 #include "fault/fault_set.hpp"
 #include "routing/ffgcr.hpp"
+#include "routing/next_hop_table.hpp"
 #include "routing/router.hpp"
 #include "topology/gaussian_cube.hpp"
 #include "topology/gaussian_tree.hpp"
@@ -67,17 +68,24 @@ class FtgcrRouter final : public Router {
   /// Failures (dst dead, cube disconnected) memoize as nullptr.
   [[nodiscard]] std::shared_ptr<const Route> plan_shared(
       NodeId s, NodeId d) const override;
-  /// Memoized stepwise plan against the *live* fault set: entries are
-  /// keyed on (cur, dst) and version-stamped, so a FaultSet::version()
-  /// move makes stale entries misses (no global invalidation pass) and
-  /// mid-run fault arrivals are picked up on the next hop. Failures (dst
-  /// dead, cube disconnected) memoize too.
+  /// Stepwise plan against the *live* fault set. While the fault set is
+  /// empty (and the modulus supports the fabric) the answer is a pure
+  /// table lookup — the machinery would emit exactly the fault-free
+  /// composite route, so its first hop is the fabric's, with no cache
+  /// traffic at all. Under faults, entries are keyed on (cur, dst) and
+  /// version-stamped, so a FaultSet::version() move makes stale entries
+  /// misses (no global invalidation pass) and mid-run fault arrivals are
+  /// picked up on the next hop. Failures (dst dead, cube disconnected)
+  /// memoize too.
   [[nodiscard]] std::optional<Dim> next_hop(NodeId cur,
                                             NodeId dst) const override;
   /// Counters for the version-stamped route and hop caches; `stale` tallies
   /// lookups that found an entry superseded by a FaultSet::version() move.
   [[nodiscard]] RouterCacheStats cache_stats() const override {
     return {plan_cache_.stats(), hop_cache_.stats()};
+  }
+  [[nodiscard]] const NextHopFabric* fabric() const override {
+    return &fabric_;
   }
   [[nodiscard]] std::string name() const override { return "FTGCR"; }
 
@@ -96,6 +104,7 @@ class FtgcrRouter final : public Router {
   const GaussianCube& gc_;
   const FaultSet& faults_;
   GaussianTree tree_;
+  NextHopFabric fabric_;
   mutable GcItineraryCache itineraries_;
   mutable ShardedVersionCache<std::shared_ptr<const Route>> plan_cache_;
   mutable ShardedVersionCache<std::optional<Dim>> hop_cache_;

@@ -1,0 +1,50 @@
+#include "routing/next_hop_table.hpp"
+
+#include "routing/tree_routing.hpp"
+#include "topology/gaussian_tree.hpp"
+
+namespace gcube {
+
+NextHopFabric::NextHopFabric(const GaussianCube& gc) {
+  alpha_ = gc.alpha();
+  if (alpha_ > kMaxAlpha) return;
+  supported_ = true;
+  class_count_ = gc.class_count();
+  class_mask_ = static_cast<NodeId>(class_count_ - 1);
+  high_mask_ = low_bits(~low_mask(alpha_), gc.dims());
+  chunk_mask_ = (std::uint32_t{1} << class_count_) - 1;
+  high_dims_.resize(class_count_);
+  for (std::uint32_t k = 0; k < class_count_; ++k) {
+    high_dims_[k] = gc.high_dims_mask(k);
+  }
+  // One entry per (class(cur), class(dst), owning-class subset). Entries
+  // with a == b and an empty subset are unreachable (they imply cur == dst)
+  // and hold the sentinel; entries whose subset contains a are consulted
+  // only after a's own pending bits were fixed, at which point the walk's
+  // first edge is what matters — plan_tree_walk handles targets equal to
+  // the endpoints, so building them uniformly is correct.
+  const GaussianTree tree(alpha_);
+  const std::uint32_t subsets = std::uint32_t{1} << class_count_;
+  tree_edge_.assign(static_cast<std::size_t>(class_count_) * class_count_ *
+                        subsets,
+                    0xFF);
+  std::vector<NodeId> targets;
+  for (std::uint32_t a = 0; a < class_count_; ++a) {
+    for (std::uint32_t b = 0; b < class_count_; ++b) {
+      for (std::uint32_t subset = 0; subset < subsets; ++subset) {
+        targets.clear();
+        for (std::uint32_t s = subset; s != 0; s &= s - 1) {
+          targets.push_back(lsb_index(s));
+        }
+        const std::vector<NodeId> walk = plan_tree_walk(tree, a, b, targets);
+        if (walk.size() < 2) continue;  // nothing to cross: sentinel stays
+        tree_edge_[(((static_cast<std::size_t>(a) << alpha_) | b)
+                    << class_count_) |
+                   subset] = static_cast<std::uint8_t>(
+            lsb_index(walk[0] ^ walk[1]));
+      }
+    }
+  }
+}
+
+}  // namespace gcube

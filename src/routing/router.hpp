@@ -24,6 +24,8 @@
 
 namespace gcube {
 
+class NextHopFabric;
+
 /// Lookup counters for a router's memoization layers: whole-route planning
 /// (plan_shared) and stepwise next-hop re-planning. Cumulative since router
 /// construction; consumers snapshot-and-subtract to scope a measurement
@@ -83,6 +85,14 @@ class Router {
   /// Cumulative cache counters for the router's plan/hop memoization.
   /// Routers without caches report all-zero stats.
   [[nodiscard]] virtual RouterCacheStats cache_stats() const { return {}; }
+
+  /// The router's precomputed next-hop tables (routing/next_hop_table.hpp),
+  /// or nullptr when it has none. The simulator steers packets through the
+  /// fabric directly — skipping plan_shared at injection — whenever the
+  /// returned fabric reports supported().
+  [[nodiscard]] virtual const NextHopFabric* fabric() const {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

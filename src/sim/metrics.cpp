@@ -49,6 +49,7 @@ double SimMetrics::log2_throughput() const {
 void SimMetrics::absorb(const SimMetrics& shard) noexcept {
   generated += shard.generated;
   delivered += shard.delivered;
+  carryover_delivered += shard.carryover_delivered;
   dropped += shard.dropped;
   total_latency += shard.total_latency;
   total_hops += shard.total_hops;
@@ -68,7 +69,9 @@ void SimMetrics::absorb(const SimMetrics& shard) noexcept {
 
 bool SimMetrics::deterministic_equals(const SimMetrics& o) const noexcept {
   return measured_cycles == o.measured_cycles && generated == o.generated &&
-         delivered == o.delivered && dropped == o.dropped &&
+         delivered == o.delivered &&
+         carryover_delivered == o.carryover_delivered &&
+         dropped == o.dropped &&
          total_latency == o.total_latency && total_hops == o.total_hops &&
          service_ops == o.service_ops &&
          peak_in_flight == o.peak_in_flight &&

@@ -58,6 +58,13 @@ struct SimMetrics {
   /// for the count that actually entered the network.
   std::uint64_t generated = 0;
   std::uint64_t delivered = 0;       // DP
+  /// Packets generated during warmup but delivered inside the measurement
+  /// window. They are kept out of delivered / latency / hops / histogram
+  /// (their creation predates the window, so counting them would let
+  /// delivery_ratio() exceed 1 and skew latency), but tallied here so the
+  /// work is visible and delivered + carryover_delivered bounds what the
+  /// network actually completed in the window.
+  std::uint64_t carryover_delivered = 0;
   std::uint64_t dropped = 0;         // planner failures at injection time
   std::uint64_t total_latency = 0;   // LP, cycles
   std::uint64_t total_hops = 0;      // over delivered packets
@@ -66,8 +73,10 @@ struct SimMetrics {
   std::uint64_t injections_blocked = 0;  // finite buffers: source was full
   std::uint64_t stalled_cycles = 0;  // cycles with traffic but no movement
   bool deadlocked = false;           // sustained global stall detected
-  // Dynamic-fault mode (sim/fault_schedule.hpp) degradation accounting;
-  // all zero in static-fault runs.
+  // Degradation accounting. fault_events / orphaned_by_node_fault are zero
+  // in static-fault runs; reroutes and dropped_en_route can be nonzero in
+  // any faulty run — fabric-steered packets re-plan at fault-adjacent
+  // nodes whether the faults are static or applied mid-run.
   std::uint64_t fault_events = 0;    // schedule events applied (measured)
   std::uint64_t reroutes = 0;        // planned next link died; re-planned
   std::uint64_t dropped_en_route = 0;  // no usable continuation after a

@@ -1,6 +1,8 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -26,6 +28,13 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
   GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
   GCUBE_REQUIRE(config.threads <= kMaxPoolShards,
                 "thread count exceeds the packet-reference shard space");
+  dims_ = topo.dims();
+  node_count_ = topo.node_count();
+  overlay_.attach(topo_);
+  const NextHopFabric* fabric = router_.fabric();
+  if (fabric != nullptr && fabric->supported()) fabric_ = fabric;
+  steer_ = config_.fabric && fabric_ != nullptr;
+  active_set_ = config_.active_set;
 }
 
 NetworkSim::NetworkSim(const Topology& topo, const Router& router,
@@ -88,6 +97,11 @@ void NetworkSim::configure_shards(unsigned shard_count) {
     sh.begin = begin;
     sh.end = begin + range_base_ + (s < range_rem_ ? 1 : 0);
     sh.outbox.resize(count);
+    if (active_set_) {
+      sh.active.reset(sh.end - sh.begin);
+      sh.wheel.assign(kWheelSize, {});
+      sh.far_fires = {};
+    }
     begin = sh.end;
   }
   queues_.assign(nodes, {});
@@ -97,6 +111,9 @@ void NetworkSim::configure_shards(unsigned shard_count) {
 }
 
 unsigned NetworkSim::shard_of(NodeId u) const noexcept {
+  // Single-shard runs skip the divisions below — they sit on the per-hop
+  // mailbox path and are pure overhead when there is only one owner.
+  if (shards_.size() == 1) return 0;
   // Contiguous split: the first range_rem_ shards are one node wider.
   const NodeId wide = range_base_ + 1;
   const NodeId split = range_rem_ * wide;
@@ -161,6 +178,77 @@ void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
       if (measuring) metrics_.orphaned_by_node_fault += lost;
     }
   }
+  // Serial point: bring the overlay masks up to date before workers read
+  // them. No-op (one version compare) when nothing changed.
+  overlay_.refresh(faults_);
+  no_faults_ = faults_.empty();
+}
+
+void NetworkSim::admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
+                              bool measuring) {
+  Shard& sh = shards_[w];
+  SimMetrics& m = sh.metrics;
+  if (measuring) ++m.generated;
+  if (config_.buffer_limit != 0 &&
+      queues_[u].size() >= config_.buffer_limit) {
+    if (measuring) ++m.injections_blocked;
+    return;
+  }
+  std::shared_ptr<const Route> planned;
+  std::uint32_t plan_len = 0;
+  if (!steer_) {
+    planned = router_.plan_shared(u, dst);
+    if (planned == nullptr) {
+      if (measuring) ++m.dropped;
+      return;
+    }
+    plan_len = static_cast<std::uint32_t>(planned->length());
+  }
+  // Steered packets launch with no plan at all: the fabric tables (or an
+  // adopted plan near faults) decide every hop at service time.
+  const PacketIndex slot = sh.pool.acquire();
+  Packet& p = sh.pool[slot];
+  p.id = now * node_count_ + u;  // unique without a shared counter
+  p.src = u;
+  p.dst = dst;
+  p.created = now;
+  p.plan_len = plan_len;
+  p.plan = std::move(planned);
+  p.next_hop = 0;
+  p.adaptive = false;
+  p.steered = steer_;
+  p.steer_next = 0;
+  p.tail.clear();
+  queues_[u].push_back(make_packet_ref(w, slot));
+  if (active_set_) sh.active.set(u - sh.begin);
+  ++sh.injected;
+}
+
+void NetworkSim::fire_injection(unsigned w, NodeId u, Cycle now,
+                                bool measuring) {
+  // Faults never heal, so a node that became ineligible since scheduling
+  // is descheduled for good (no re-arm).
+  if (!traffic_.eligible(u)) return;
+  // Per-(node, cycle) draw stream: destination and the next gap are pure
+  // functions of (seed, u, now), never of pop or thread order.
+  CounterRng rng(counter_key(config_.seed, u, now));
+  const NodeId dst = traffic_.pick_destination(u, rng);
+  admit_packet(w, u, dst, now, measuring);
+  // The gap is drawn whether or not the buffer admitted the packet, so
+  // offered load is independent of buffer_limit, as in the scan path.
+  const std::uint64_t gap = traffic_.injection_gap(u, rng);
+  if (gap == TrafficModel::kNeverGap || gap >= total_cycles_ - now) return;
+  schedule_fire(shards_[w], now, now + gap, u);
+}
+
+void NetworkSim::schedule_fire(Shard& sh, Cycle now, Cycle at, NodeId u) {
+  if (at - now < kWheelSize) {
+    // Within the wheel's span the bucket index is unambiguous: no other
+    // pending cycle in [now, now + kWheelSize) shares it.
+    sh.wheel[at & (kWheelSize - 1)].push_back(u);
+  } else {
+    sh.far_fires.push((at << kFireNodeBits) | u);
+  }
 }
 
 void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
@@ -178,10 +266,43 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
       const Arrival a = box.front();
       box.pop_front();
       queues_[a.node].push_back(a.ref);
+      if (active_set_) sh.active.set(a.node - sh.begin);
     }
   }
-  const std::uint64_t node_count = topo_.node_count();
-  SimMetrics& m = sh.metrics;
+  if (active_set_) {
+    // Event-driven injection: only nodes whose fire time is due do any
+    // work this cycle. Far-heap stragglers join the wheel bucket, which is
+    // then fired in ascending node order — the canonical injection order.
+    // Fires reschedule into later buckets (or the far heap), never the one
+    // being drained.
+    std::vector<NodeId>& bucket = sh.wheel[now & (kWheelSize - 1)];
+    while (!sh.far_fires.empty() &&
+           (sh.far_fires.top() >> kFireNodeBits) <= now) {
+      bucket.push_back(static_cast<NodeId>(sh.far_fires.top() &
+                                           kFireNodeMask));
+      sh.far_fires.pop();
+    }
+    std::sort(bucket.begin(), bucket.end());
+    for (const NodeId u : bucket) fire_injection(w, u, now, measuring);
+    bucket.clear();
+    if (config_.buffer_limit != 0) {
+      // Maintenance scan over live bits only: retire nodes whose queue
+      // emptied last cycle, publish committed occupancy for the rest.
+      // (With unbounded buffers there is no occupancy to publish and
+      // phase B retires emptied nodes itself, so no scan at all.)
+      sh.active.for_each_set([&](std::uint64_t bit) {
+        const NodeId u = sh.begin + static_cast<NodeId>(bit);
+        const std::size_t depth = queues_[u].size();
+        if (depth == 0) {
+          sh.active.clear(bit);
+          occ_[u] = 0;
+        } else {
+          occ_[u] = static_cast<std::uint32_t>(depth);
+        }
+      });
+    }
+    return;
+  }
   for (NodeId u = sh.begin; u < sh.end; ++u) {
     if (!traffic_.eligible(u)) continue;
     // Per-(node, cycle) draw stream: injection and destination choice are
@@ -193,30 +314,7 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
     // buffer_limit settings; a blocked injection differs only in being
     // counted in injections_blocked instead of entering the network.
     const NodeId dst = traffic_.pick_destination(u, rng);
-    if (measuring) ++m.generated;
-    if (config_.buffer_limit != 0 &&
-        queues_[u].size() >= config_.buffer_limit) {
-      if (measuring) ++m.injections_blocked;
-      continue;
-    }
-    std::shared_ptr<const Route> planned = router_.plan_shared(u, dst);
-    if (planned == nullptr) {
-      if (measuring) ++m.dropped;
-      continue;
-    }
-    const PacketIndex slot = sh.pool.acquire();
-    Packet& p = sh.pool[slot];
-    p.id = now * node_count + u;  // unique without a shared counter
-    p.src = u;
-    p.dst = dst;
-    p.created = now;
-    p.plan_len = static_cast<std::uint32_t>(planned->length());
-    p.plan = std::move(planned);
-    p.next_hop = 0;
-    p.adaptive = false;
-    p.tail.clear();
-    queues_[u].push_back(make_packet_ref(w, slot));
-    ++sh.injected;
+    admit_packet(w, u, dst, now, measuring);
   }
   if (config_.buffer_limit != 0) {
     // Publish committed occupancy for this cycle's backpressure checks.
@@ -226,96 +324,179 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
   }
 }
 
-void NetworkSim::phase_forward(unsigned w, Cycle now, bool measuring) {
+void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
+                            bool& moved) {
   Shard& sh = shards_[w];
   SimMetrics& m = sh.metrics;
-  const Dim n = topo_.dims();
-  bool moved = false;
-  // Epoch-stamped link reservations: a directed link is free this cycle if
-  // its stamp is older than now + 1 (stamps store now + 1 to keep 0 free).
-  // Every link written here starts at a node this shard owns.
-  for (NodeId u = sh.begin; u < sh.end; ++u) {
-    Ring<PacketRef>& queue = queues_[u];
-    for (std::uint32_t served = 0;
-         served < config_.service_rate && !queue.empty(); ++served) {
-      const PacketRef ref = queue.front();
-      Packet& p = packet(ref);
-      // An adaptive packet no longer carries a complete route, so arrival
-      // is detected positionally; a planned packet arrives exactly when
-      // its route is consumed (the planner guarantees it ends at dst).
-      const bool arrived = p.adaptive ? u == p.dst : p.at_destination();
-      if (arrived) {
+  const Dim n = dims_;
+  Ring<PacketRef>& queue = queues_[u];
+  for (std::uint32_t served = 0;
+       served < config_.service_rate && !queue.empty(); ++served) {
+    const PacketRef ref = queue.front();
+    Packet& p = packet(ref);
+    // Adaptive and steered packets carry no complete route, so arrival is
+    // detected positionally; a planned packet arrives exactly when its
+    // route is consumed (the planner guarantees it ends at dst).
+    const bool arrived =
+        p.adaptive || p.steered ? u == p.dst : p.at_destination();
+    if (arrived) {
+      if (p.audited()) {
         NodeId replay = p.src;
         for (std::uint32_t h = 0; h < p.next_hop; ++h) {
           replay = flip_bit(replay, p.hop_at(h));
         }
         GCUBE_REQUIRE(replay == p.dst,
                       "delivered packet's recorded path must end at dst");
-        if (measuring) {
+      }
+      if (measuring) {
+        if (p.created < config_.warmup_cycles) {
+          // Warmup-generated packet completing inside the window: real
+          // work, but counting it in delivered/latency would let the
+          // delivery ratio exceed the offered load and skew the averages.
+          ++m.carryover_delivered;
+        } else {
           ++m.delivered;
           m.total_latency += now - p.created;
           m.total_hops += p.next_hop;
           m.latency_histogram.record(now - p.created);
-          ++m.service_ops;
         }
-        ++sh.removed;
-        queue.pop_front();
-        release_ref(w, ref);
-        moved = true;
+        ++m.service_ops;
+      }
+      ++sh.removed;
+      queue.pop_front();
+      release_ref(w, ref);
+      moved = true;
+      continue;
+    }
+    // A dropped packet leaves the network for good; dropping counts as
+    // progress for the stall detector.
+    const auto drop = [&]() {
+      if (measuring) ++m.dropped_en_route;
+      ++sh.removed;
+      queue.pop_front();
+      release_ref(w, ref);
+      moved = true;
+    };
+    Dim c;
+    if (p.steered) {
+      if (p.next_hop >= hop_limit_) {
+        drop();  // livelock guard, same bound as adaptive re-plans
         continue;
       }
-      // A dropped packet leaves the network for good; dropping counts as
-      // progress for the stall detector.
-      const auto drop = [&]() {
-        if (measuring) ++m.dropped_en_route;
-        ++sh.removed;
-        queue.pop_front();
-        release_ref(w, ref);
-        moved = true;
-      };
-      Dim c;
-      if (p.adaptive) {
-        if (p.next_hop >= hop_limit_) {
-          drop();  // livelock guard: stepwise re-plans cycled
-          continue;
+      std::optional<Dim> hop;
+      if (p.plan != nullptr) {
+        // Following a plan adopted at an earlier fault-adjacent node;
+        // verify the next adopted hop is still alive before taking it.
+        const Dim pc = p.plan->hops()[p.steer_next];
+        if (overlay_.link_usable(u, pc)) {
+          hop = pc;
+        } else {
+          if (measuring) ++m.reroutes;
+          p.plan.reset();  // died underfoot: re-steer from this node
+          p.steer_next = 0;
         }
+      }
+      if (!hop) {
+        if (no_faults_ || overlay_.node_clean(u)) {
+          // No fault within distance 1: the fabric's fault-free table hop
+          // is guaranteed usable — no per-link checks at all.
+          hop = fabric_->fault_free_hop(u, p.dst);
+        } else {
+          // Fault-adjacent node: adopt the router's full fault-aware plan
+          // from here. A reroute is counted when the fault actually
+          // deflects the packet off its fault-free table hop.
+          if (measuring &&
+              !overlay_.link_usable(u, fabric_->fault_free_hop(u, p.dst))) {
+            ++m.reroutes;
+          }
+          std::shared_ptr<const Route> adopted =
+              router_.plan_shared(u, p.dst);
+          if (adopted == nullptr || adopted->length() == 0 ||
+              !overlay_.link_usable(u, adopted->hops().front())) {
+            drop();  // no usable continuation (dst dead or region cut off)
+            continue;
+          }
+          p.plan = std::move(adopted);
+          p.steer_next = 0;
+          hop = p.plan->hops().front();
+        }
+      }
+      c = *hop;
+    } else if (p.adaptive) {
+      if (p.next_hop >= hop_limit_) {
+        drop();  // livelock guard: stepwise re-plans cycled
+        continue;
+      }
+      const std::optional<Dim> nh = router_.next_hop(u, p.dst);
+      if (!nh || !overlay_.link_usable(u, *nh)) {
+        drop();  // no usable continuation (dst dead or region cut off)
+        continue;
+      }
+      c = *nh;
+    } else {
+      c = p.plan->hops()[p.next_hop];
+      if (!overlay_.link_usable(u, c)) {
+        // The precomputed next link died under the packet: re-plan from
+        // here with current fault knowledge instead of traversing it.
+        if (measuring) ++m.reroutes;
+        p.adaptive = true;
+        p.plan_len = p.next_hop;  // abandon the unconsumed planned tail
         const std::optional<Dim> nh = router_.next_hop(u, p.dst);
-        if (!nh || !topo_.has_link(u, *nh) ||
-            !faults_.link_usable(u, *nh)) {
-          drop();  // no usable continuation (dst dead or region cut off)
+        if (!nh || !overlay_.link_usable(u, *nh)) {
+          drop();
           continue;
         }
         c = *nh;
-      } else {
-        c = p.plan->hops()[p.next_hop];
-        if (!topo_.has_link(u, c) || !faults_.link_usable(u, c)) {
-          // The precomputed next link died under the packet: re-plan from
-          // here with current fault knowledge instead of traversing it.
-          if (measuring) ++m.reroutes;
-          p.adaptive = true;
-          p.plan_len = p.next_hop;  // abandon the unconsumed planned tail
-          const std::optional<Dim> nh = router_.next_hop(u, p.dst);
-          if (!nh || !topo_.has_link(u, *nh) ||
-              !faults_.link_usable(u, *nh)) {
-            drop();
-            continue;
-          }
-          c = *nh;
-        }
       }
-      Cycle& stamp = link_busy_[static_cast<std::size_t>(u) * n + c];
-      if (stamp == now + 1) break;  // link busy: head-of-line blocking
-      const NodeId v = flip_bit(u, c);
-      if (config_.buffer_limit != 0 && occ_[v] >= config_.buffer_limit) {
-        break;  // backpressure against start-of-cycle committed occupancy
+    }
+    // Epoch-stamped link reservation: the directed link is free this cycle
+    // iff its stamp is older than now + 1 (stamps store now + 1 to keep 0
+    // free). Every link written here starts at a node this shard owns.
+    Cycle& stamp = link_busy_[static_cast<std::size_t>(u) * n + c];
+    if (stamp == now + 1) return;  // link busy: head-of-line blocking
+    const NodeId v = flip_bit(u, c);
+    if (config_.buffer_limit != 0 && occ_[v] >= config_.buffer_limit) {
+      return;  // backpressure against start-of-cycle committed occupancy
+    }
+    stamp = now + 1;
+    if (measuring) ++m.service_ops;
+    if (p.adaptive) {
+      if (p.audited()) p.tail.push_back(c);
+    } else if (p.steered) {
+      if (p.audited()) p.tail.push_back(c);  // audit path lives in the tail
+      if (p.plan != nullptr && ++p.steer_next >=
+                                   static_cast<std::uint32_t>(
+                                       p.plan->length())) {
+        p.plan.reset();  // adopted plan consumed; back to table steering
+        p.steer_next = 0;
       }
-      stamp = now + 1;
-      if (measuring) ++m.service_ops;
-      if (p.adaptive) p.tail.push_back(c);
-      ++p.next_hop;
-      sh.outbox[shard_of(v)].push_back({v, ref});
-      queue.pop_front();
-      moved = true;
+    }
+    ++p.next_hop;
+    sh.outbox[shard_of(v)].push_back({v, ref});
+    queue.pop_front();
+    moved = true;
+  }
+}
+
+void NetworkSim::phase_forward(unsigned w, Cycle now, bool measuring) {
+  Shard& sh = shards_[w];
+  bool moved = false;
+  if (active_set_) {
+    // Only nodes whose bit is set can hold packets (phase-A invariant), so
+    // the ascending bit scan serves exactly the canonical node order the
+    // full sweep would. With unbounded buffers an emptied node is retired
+    // here on the spot; with finite ones the phase-A maintenance scan does
+    // it (occ_ is read cross-shard during this phase and may only be
+    // written at the phase-A serial-equivalent point).
+    const bool retire = config_.buffer_limit == 0;
+    sh.active.for_each_set([&](std::uint64_t bit) {
+      const NodeId u = sh.begin + static_cast<NodeId>(bit);
+      serve_node(w, u, now, measuring, moved);
+      if (retire && queues_[u].empty()) sh.active.clear(bit);
+    });
+  } else {
+    for (NodeId u = sh.begin; u < sh.end; ++u) {
+      serve_node(w, u, now, measuring, moved);
     }
   }
   sh.moved = moved;
@@ -326,22 +507,56 @@ SimMetrics NetworkSim::run() {
   metrics_.measured_cycles = config_.measure_cycles;
   next_event_ = 0;
 
-  // Resolve the worker count. Explicit counts are honored exactly (the
+  // Resolve the worker count. Explicit counts are honored (the
   // determinism and TSan tests need real concurrency even on small
-  // machines) but still deduct from the shared budget so enclosing sweeps
-  // see the machine as busy; auto asks the budget what is spare.
+  // machines, via allow_oversubscribe) but still deduct from the shared
+  // budget so enclosing sweeps see the machine as busy; auto asks the
+  // budget what is spare.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
   std::optional<ThreadLease> lease;
   unsigned shard_count;
   if (config_.threads == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0) hw = 1;
     lease.emplace(hw - 1);
     shard_count = 1 + lease->granted();
   } else {
-    lease.emplace(config_.threads - 1);
-    shard_count = config_.threads;
+    unsigned want = config_.threads;
+    if (want > hw && !config_.allow_oversubscribe) {
+      // More workers than cores only adds contention on the cycle
+      // barrier; metrics are thread-count-independent anyway.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "gcube: clamping threads=%u to hardware concurrency "
+                     "%u (metrics are unaffected; set allow_oversubscribe "
+                     "/ --oversubscribe to override)\n",
+                     want, hw);
+      }
+      want = hw;
+    }
+    lease.emplace(want - 1);
+    shard_count = want;
   }
   configure_shards(shard_count);
+  total_cycles_ = config_.warmup_cycles + config_.measure_cycles;
+  overlay_.refresh(faults_);
+  no_faults_ = faults_.empty();
+  if (active_set_) {
+    // Seed every node's first fire from a dedicated pre-run draw stream
+    // (cycle key ~0 cannot collide with a real cycle). First fire at
+    // gap - 1 so cycle 0 fires with the same probability as any other.
+    for (Shard& sh : shards_) {
+      for (NodeId u = sh.begin; u < sh.end; ++u) {
+        if (!traffic_.eligible(u)) continue;
+        CounterRng rng(counter_key(config_.seed, u, ~Cycle{0}));
+        const std::uint64_t gap = traffic_.injection_gap(u, rng);
+        if (gap == TrafficModel::kNeverGap || gap - 1 >= total_cycles_) {
+          continue;
+        }
+        schedule_fire(sh, 0, gap - 1, u);
+      }
+    }
+  }
   ShardPool pool(static_cast<unsigned>(shards_.size()));
   pool_ = &pool;
 

@@ -38,14 +38,39 @@
 //     destination shard through per-(source shard, destination shard)
 //     mailbox rings.
 //
-// Fault-schedule application, cross-shard packet-slot reclamation, and
-// global accounting (in-flight depth, stall detection) happen serially
-// between cycles. Every per-node decision therefore depends only on
-// start-of-cycle committed state, per-(node, cycle) counter RNG draws
-// (util/rng.hpp), and canonical queue order — so for a fixed seed, the
-// full SimMetrics (latency histogram included) are bit-identical for ANY
-// thread count, including 1. That contract is enforced by the determinism
-// test and lets the threads knob be a pure wall-clock choice.
+// Fault-schedule application, fault-overlay refresh, cross-shard
+// packet-slot reclamation, and global accounting (in-flight depth, stall
+// detection) happen serially between cycles. Every per-node decision
+// therefore depends only on start-of-cycle committed state, per-(node,
+// cycle) counter RNG draws (util/rng.hpp), and canonical queue order — so
+// for a fixed seed, the full SimMetrics (latency histogram included) are
+// bit-identical for ANY thread count, including 1. That contract is
+// enforced by the determinism test and lets the threads knob be a pure
+// wall-clock choice.
+//
+// Hot-path machinery (both on by default, SimConfig toggles):
+//
+//  * Next-hop fabric steering (SimConfig::fabric, effective when the
+//    router exposes a supported NextHopFabric): packets are injected with
+//    NO precomputed plan. At service time, a node the FaultOverlay calls
+//    clean takes the fabric's O(1) table hop with no per-link checks at
+//    all (the overlay guarantees every link there is usable); a node
+//    within distance 1 of a fault adopts the router's full plan from that
+//    point and follows it with per-hop usability checks, re-adopting
+//    (SimMetrics::reroutes) if a later fault invalidates it. This removes
+//    the per-injection plan-cache lookup + shared_ptr traffic and the
+//    per-hop virtual topology/fault-hash queries from the fault-free
+//    common case. The overlay is refreshed at the serial points, so
+//    dynamic fault schedules work unchanged.
+//  * Active-set cycle loop (SimConfig::active_set): each shard keeps a
+//    bitmap of nodes holding or receiving packets plus a timing wheel of
+//    pending injection fire times drawn from TrafficModel::injection_gap,
+//    so a cycle costs O(active nodes + handoffs + due injections) instead
+//    of O(all nodes). Draws stay pure per-(node, cycle) functions and the
+//    bitmap scan is ascending, preserving the determinism contract; the
+//    gap-scheduled injection realization differs from the per-cycle
+//    Bernoulli scan (same distribution, different draw-stream layout), so
+//    metrics are comparable but not bit-equal across the toggle itself.
 //
 // Two deliberate semantic refinements versus the old serial-only core,
 // both required for order-independence (and covered by the contract):
@@ -59,9 +84,13 @@
 #pragma once
 
 #include <exception>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "fault/fault_set.hpp"
+#include "fault/overlay.hpp"
+#include "routing/next_hop_table.hpp"
 #include "routing/router.hpp"
 #include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
@@ -70,6 +99,7 @@
 #include "sim/shard_pool.hpp"
 #include "sim/traffic.hpp"
 #include "topology/topology.hpp"
+#include "util/bitmap.hpp"
 #include "util/rng.hpp"
 
 namespace gcube {
@@ -93,11 +123,24 @@ struct SimConfig {
   std::uint32_t reroute_hop_limit = 0;
   /// Worker threads for the sharded cycle loop. 0 = auto: the calling
   /// thread plus whatever the process-wide ThreadBudget grants, so nested
-  /// sweeps never oversubscribe. N >= 1 = exactly N workers, budget or
-  /// not — oversubscription is allowed, which is what lets the
-  /// determinism and TSan tests run genuinely multithreaded on small
-  /// machines. Metrics are bit-identical for any value at a fixed seed.
+  /// sweeps never oversubscribe. N >= 1 = exactly N workers; counts above
+  /// hardware_concurrency() are clamped to it (with a one-time stderr
+  /// note) unless allow_oversubscribe is set. Metrics are bit-identical
+  /// for any value at a fixed seed.
   std::uint32_t threads = 0;
+  /// Honor a threads value above hardware_concurrency() literally instead
+  /// of clamping. Oversubscription only slows the simulation down, but the
+  /// determinism and TSan tests need it to run genuinely multithreaded on
+  /// small machines.
+  bool allow_oversubscribe = false;
+  /// Table-driven next-hop steering (see the header comment). Effective
+  /// only when the router exposes a supported NextHopFabric; otherwise the
+  /// plan-at-injection path is used regardless.
+  bool fabric = true;
+  /// Active-set cycle loop + gap-scheduled injection (see the header
+  /// comment). Off = the full per-node scan with per-cycle Bernoulli
+  /// injection draws (bit-compatible with earlier versions).
+  bool active_set = true;
 };
 
 class NetworkSim {
@@ -144,6 +187,23 @@ class NetworkSim {
     SimMetrics metrics;      // per-shard partial, absorbed after the run
     std::vector<Ring<Arrival>> outbox;  // one ring per destination shard
     Ring<PacketRef> released;  // foreign slots freed this cycle (phase B)
+    /// Active-set mode: bit (u - begin) set iff node u may hold packets.
+    /// Set on every queue push (mailbox drain, injection admit); cleared
+    /// once the queue is empty — by phase B itself with unbounded buffers,
+    /// by the phase-A maintenance scan (which must also publish occupancy)
+    /// with finite ones. A non-empty queue always has its bit set.
+    NodeBitmap active;
+    /// Pending injection fire times: a timing wheel of kWheelSize cycle
+    /// buckets (O(1) schedule/drain; unambiguous because every wheel entry
+    /// lies within kWheelSize cycles of now) with a far heap for the rare
+    /// fire scheduled further out, keyed (cycle << kFireNodeBits) | node.
+    /// At most one entry per node across both (a node reschedules only
+    /// when its fire is consumed); each cycle's due nodes are fired in
+    /// ascending node order — the canonical injection order.
+    std::vector<std::vector<NodeId>> wheel;
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<>>
+        far_fires;
     std::uint64_t injected = 0;  // this cycle
     std::uint64_t removed = 0;   // delivered + dropped this cycle
     bool moved = false;          // any service progress this cycle
@@ -172,15 +232,40 @@ class NetworkSim {
   /// when it does not.
   void release_ref(unsigned w, PacketRef ref);
 
-  /// Applies every schedule event due at `now` (serial point) and orphans
-  /// packets queued at — or in a mailbox toward — nodes that just died.
+  /// Applies every schedule event due at `now` (serial point), orphans
+  /// packets queued at — or in a mailbox toward — nodes that just died,
+  /// and refreshes the fault overlay.
   void apply_fault_events(Cycle now, bool measuring);
   /// Phase A: drain arrival mailboxes, inject, publish occupancy.
   void phase_inject(unsigned w, Cycle now, bool measuring);
   /// Phase B: serve queues, forward/deliver/drop, fill mailboxes.
   void phase_forward(unsigned w, Cycle now, bool measuring);
+  /// Injects one packet u -> dst (offered-load + buffer accounting
+  /// included); shared by the Bernoulli scan and the gap-scheduled path.
+  void admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
+                    bool measuring);
+  /// Consumes a due injection fire at u: draws the destination, admits the
+  /// packet, and reschedules from the gap distribution.
+  void fire_injection(unsigned w, NodeId u, Cycle now, bool measuring);
+  /// Serves node u's queue for one cycle (the per-node body of phase B).
+  void serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
+                  bool& moved);
   /// Releases every packet queued at or in transit to `u` (serial point).
   std::size_t discard_packets_at(NodeId u);
+
+  /// Node index width inside a far-fire key; node_count <= 2^kMaxDimension
+  /// by construction, leaving 64 - kFireNodeBits bits of cycle headroom.
+  static constexpr unsigned kFireNodeBits = kMaxDimension;
+  static constexpr std::uint64_t kFireNodeMask =
+      (std::uint64_t{1} << kFireNodeBits) - 1;
+  /// Timing-wheel span: covers the mean gap up to injection rates around
+  /// 1/kWheelSize; rarer-firing nodes overflow to the far heap.
+  static constexpr std::uint64_t kWheelBits = 13;
+  static constexpr std::uint64_t kWheelSize = std::uint64_t{1} << kWheelBits;
+
+  /// Files a pending injection for node u at cycle `at` (> now except at
+  /// pre-run seeding, where `at` may equal cycle 0).
+  void schedule_fire(Shard& sh, Cycle now, Cycle at, NodeId u);
 
   const Topology& topo_;
   const Router& router_;
@@ -188,6 +273,19 @@ class NetworkSim {
   SimConfig config_;
   UniformTraffic default_traffic_;   // used when no model is supplied
   const TrafficModel& traffic_;
+  /// Dense link-usability masks; refreshed at serial points, read by all
+  /// workers. Backs every usability check (legacy paths included — its
+  /// answer is pure-function-equal to topo.has_link && faults.link_usable).
+  FaultOverlay overlay_;
+  /// The router's table fabric when present AND supported; null otherwise.
+  const NextHopFabric* fabric_ = nullptr;
+  bool steer_ = false;       // config_.fabric && fabric_ != nullptr
+  bool active_set_ = false;  // config_.active_set
+  /// True while the fault set is empty; refreshed at the serial points.
+  /// Lets steering skip the per-node overlay loads entirely on fault-free
+  /// runs (every node is trivially clean).
+  bool no_faults_ = false;
+  Cycle total_cycles_ = 0;   // warmup + measure, for fire scheduling
   std::vector<Shard> shards_;
   std::vector<Ring<PacketRef>> queues_;  // per-node FIFO, owner-shard only
   std::vector<Cycle> link_busy_;  // directed link stamps, owner-shard only
@@ -206,6 +304,10 @@ class NetworkSim {
   std::vector<FaultEvent> schedule_events_;  // sorted by cycle
   std::size_t next_event_ = 0;
   std::uint32_t hop_limit_ = 0;
+  // Topology geometry, cached out of the per-hop path (the Topology
+  // accessors are virtual).
+  Dim dims_ = 0;
+  std::uint64_t node_count_ = 0;
 };
 
 }  // namespace gcube

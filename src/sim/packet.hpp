@@ -6,8 +6,9 @@
 // goes adaptive (its precomputed next link died mid-flight) stops
 // consuming the plan and records each online hop in a small inline tail
 // buffer, spilling to the heap only past kInlineHops (deep detours under
-// dense dynamic faults). The recorded path is always plan[0, plan_len) ++
-// tail, which the simulator replays at delivery as a safety check.
+// dense dynamic faults). The recorded path is plan[0, plan_len) ++ tail,
+// which the simulator replays at delivery as a safety check on a
+// deterministic sample of packets (see audited()).
 #pragma once
 
 #include <cstdint>
@@ -75,6 +76,14 @@ struct Packet {
   /// then on the packet is steered hop by hop via Router::next_hop and
   /// every hop taken is recorded in `tail`.
   bool adaptive = false;
+  /// Fabric-steered packet: injected with NO plan at all (plan_len == 0),
+  /// routed by per-hop table lookups at clean nodes and by an adopted
+  /// router plan near faults. Every hop taken is recorded in `tail`;
+  /// arrival is positional (current node == dst).
+  bool steered = false;
+  /// Cursor into an adopted plan (`plan`, entered mid-flight at a patched
+  /// node); adopted hops are NOT part of plan_len — they land in `tail`.
+  std::uint32_t steer_next = 0;
   HopTail tail;
 
   [[nodiscard]] bool at_destination() const noexcept {
@@ -85,6 +94,13 @@ struct Packet {
   [[nodiscard]] Dim hop_at(std::uint32_t i) const {
     return i < plan_len ? plan->hops()[i] : tail[i - plan_len];
   }
+  /// Whether this packet participates in the delivery-replay audit (and so
+  /// must record its online hops in `tail`). A deterministic 1-in-64
+  /// sample keyed on the id — a pure function of (creation cycle, source),
+  /// so the sample is identical across thread counts — keeps the invariant
+  /// continuously exercised without putting an O(path) replay plus a hop
+  /// recording store on every packet of the hot path.
+  [[nodiscard]] bool audited() const noexcept { return (id & 63) == 0; }
 };
 
 }  // namespace gcube

@@ -70,6 +70,8 @@ class PacketPool {
     p.next_hop = 0;
     p.plan_len = 0;
     p.adaptive = false;
+    p.steered = false;
+    p.steer_next = 0;
     p.tail.clear();
     free_.push_back(i);
   }

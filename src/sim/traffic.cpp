@@ -1,16 +1,33 @@
 #include "sim/traffic.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace gcube {
 
 UniformTraffic::UniformTraffic(std::uint64_t node_count, double rate,
                                const FaultSet& faults, std::uint64_t seed)
-    : node_count_(node_count), rate_(rate), faults_(faults), seed_(seed) {
+    : node_count_(node_count),
+      rate_(rate),
+      log1m_rate_(rate > 0.0 && rate < 1.0 ? std::log1p(-rate) : 0.0),
+      faults_(faults),
+      seed_(seed) {
   GCUBE_REQUIRE(node_count >= 2, "need at least two nodes for traffic");
   GCUBE_REQUIRE(rate >= 0.0 && rate <= 1.0, "rate must be a probability");
   GCUBE_REQUIRE(faults.node_fault_count() + 1 < node_count,
                 "not enough nonfaulty nodes for traffic");
+}
+
+std::uint64_t UniformTraffic::injection_gap(NodeId, CounterRng& rng) const {
+  if (rate_ <= 0.0) return kNeverGap;
+  if (rate_ >= 1.0) return 1;
+  // Inverse-transform sample of the geometric distribution. log1p keeps
+  // precision at small rates, where log(1 - rate) would cancel.
+  const double u = rng.uniform();  // [0, 1)
+  const double g = std::floor(std::log1p(-u) / log1m_rate_);
+  if (g >= 9.0e18) return kNeverGap;  // rate denormal-small: never fires
+  return 1 + static_cast<std::uint64_t>(g);
 }
 
 NodeId UniformTraffic::pick_destination(NodeId src, CounterRng& rng) const {

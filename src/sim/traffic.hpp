@@ -32,8 +32,33 @@ class TrafficModel {
  public:
   virtual ~TrafficModel() = default;
 
+  /// Sentinel gap: the node never injects again (rate 0, or no success
+  /// within the default implementation's scan horizon).
+  static constexpr std::uint64_t kNeverGap = ~std::uint64_t{0};
+
   /// Should node u inject a packet this cycle?
   [[nodiscard]] virtual bool should_inject(NodeId u, CounterRng& rng) const = 0;
+
+  /// Cycles until node u's next injection, >= 1 (or kNeverGap). The
+  /// active-set simulator schedules injections event-driven from this
+  /// instead of drawing should_inject for every (node, cycle) pair, so at
+  /// low rates idle nodes cost nothing per cycle. The default derives the
+  /// gap by scanning should_inject draws, which keeps any override of
+  /// should_inject distribution-consistent; models with a closed form
+  /// (UniformTraffic's geometric) override it. Note the realization
+  /// differs from per-cycle draws — each mode consumes the per-node
+  /// counter streams differently — but the distribution is identical.
+  [[nodiscard]] virtual std::uint64_t injection_gap(NodeId u,
+                                                    CounterRng& rng) const {
+    // Bounded scan: past this many consecutive failures the node is
+    // treated as silent (at any practically measurable rate the bound is
+    // unreachable; it only guards rate ~ 0 from an unbounded loop).
+    constexpr std::uint64_t kScanLimit = std::uint64_t{1} << 20;
+    for (std::uint64_t gap = 1; gap <= kScanLimit; ++gap) {
+      if (should_inject(u, rng)) return gap;
+    }
+    return kNeverGap;
+  }
 
   /// A nonfaulty destination different from src.
   [[nodiscard]] virtual NodeId pick_destination(NodeId src,
@@ -52,6 +77,10 @@ class UniformTraffic : public TrafficModel {
   [[nodiscard]] bool should_inject(NodeId, CounterRng& rng) const override {
     return rng.chance(rate_);
   }
+  /// Closed-form geometric gap: P(gap = g) = rate * (1 - rate)^(g-1), the
+  /// exact distribution of the Bernoulli scan, in one draw.
+  [[nodiscard]] std::uint64_t injection_gap(NodeId u,
+                                            CounterRng& rng) const override;
   [[nodiscard]] NodeId pick_destination(NodeId src,
                                         CounterRng& rng) const override;
   [[nodiscard]] bool eligible(NodeId u) const override;
@@ -62,6 +91,7 @@ class UniformTraffic : public TrafficModel {
  protected:
   std::uint64_t node_count_;
   double rate_;
+  double log1m_rate_;  // log1p(-rate), hoisted out of injection_gap
   const FaultSet& faults_;
   std::uint64_t seed_;
 };

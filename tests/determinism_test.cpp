@@ -7,9 +7,11 @@
 // queue order. The matrix here crosses topologies {GC(8,2), GC(10,4)},
 // fault regimes {static pattern, mid-run schedule}, and thread counts
 // {1, 2, 4, hardware, auto}; explicit counts above the core count
-// genuinely oversubscribe (SimConfig::threads is exact), so this exercises
-// real interleavings even on small CI machines. The same binary runs under
-// the ThreadSanitizer CI job.
+// genuinely oversubscribe (allow_oversubscribe bypasses the default clamp
+// to hardware_concurrency), so this exercises real interleavings even on
+// small CI machines. The same binary runs under the ThreadSanitizer CI
+// job. Both execution modes are covered: the default next-hop-fabric +
+// active-set loop, and the legacy full-scan path.
 //
 // Cache counters (SimMetrics::plan_cache / hop_cache) are deliberately NOT
 // compared: the hit/miss split depends on which worker reaches a cold key
@@ -34,6 +36,7 @@ void expect_identical(const SimMetrics& got, const SimMetrics& want,
                       const std::string& label) {
   EXPECT_EQ(got.generated, want.generated) << label;
   EXPECT_EQ(got.delivered, want.delivered) << label;
+  EXPECT_EQ(got.carryover_delivered, want.carryover_delivered) << label;
   EXPECT_EQ(got.dropped, want.dropped) << label;
   EXPECT_EQ(got.total_latency, want.total_latency) << label;
   EXPECT_EQ(got.total_hops, want.total_hops) << label;
@@ -86,6 +89,9 @@ GcSimSpec base_spec(Dim n, std::uint64_t modulus) {
   spec.sim.warmup_cycles = 30;
   spec.sim.measure_cycles = 200;
   spec.sim.seed = 99;
+  // The matrix intentionally runs more workers than this machine has
+  // cores; the default clamp would quietly serialize those cells.
+  spec.sim.allow_oversubscribe = true;
   return spec;
 }
 
@@ -128,6 +134,17 @@ TEST(Determinism, Gc10x4ScheduledFaults) {
   spec.sim.injection_rate = 0.04;
   spec.schedule = scheduled_faults(spec);
   expect_thread_invariant(spec, "GC(10,4) scheduled");
+}
+
+TEST(Determinism, LegacyScanModeIsThreadInvariantToo) {
+  // The pre-fabric execution path (full per-node scan, Bernoulli
+  // injection, plan-at-injection) stays available behind the toggles and
+  // must honor the same contract.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  spec.sim.fabric = false;
+  spec.sim.active_set = false;
+  expect_thread_invariant(spec, "GC(8,2) legacy scan");
 }
 
 TEST(Determinism, FiniteBuffersBackpressureIsThreadInvariant) {

@@ -120,6 +120,11 @@ TEST(RouteCacheTest, FtgcrCachedQueriesMatchFreshAcrossMutations) {
 TEST(RouteCacheTest, CountersTallyHitsMissesAndStale) {
   const GaussianCube gc(8, 2);
   FaultSet faults;
+  // Pre-seed one marked link: with a fault-free set next_hop would be
+  // served by the table fabric without touching any cache (asserted in
+  // FaultFreeFtgcrNextHopBypassesTheCaches below); the counter behavior
+  // under test here is the cache machinery's.
+  faults.fail_link(5, 0);
   const FtgcrRouter router(gc, faults);
   EXPECT_EQ(router.cache_stats().plan.lookups(), 0u);
   EXPECT_EQ(router.cache_stats().hop.lookups(), 0u);
@@ -171,12 +176,24 @@ TEST(RouteCacheTest, FfgcrCountersNeverGoStale) {
   }
   const RouterCacheStats stats = router.cache_stats();
   EXPECT_EQ(stats.plan.misses, 1u);
-  // 3 hits: passes 2 and 3, plus next_hop's pass-1 refill via plan_shared.
-  EXPECT_EQ(stats.plan.hits, 3u);
+  // 2 hits: passes 2 and 3 of plan_shared. next_hop is answered by the
+  // table fabric on this shape and never reaches either cache.
+  EXPECT_EQ(stats.plan.hits, 2u);
   EXPECT_EQ(stats.plan.stale, 0u);  // fault-blind: no version to outdate
-  EXPECT_EQ(stats.hop.misses, 1u);
-  EXPECT_EQ(stats.hop.hits, 2u);
-  EXPECT_EQ(stats.hop.stale, 0u);
+  EXPECT_EQ(stats.hop.lookups(), 0u);
+}
+
+TEST(RouteCacheTest, FaultFreeFtgcrNextHopBypassesTheCaches) {
+  // The simulator's fault-free fast path: with an empty fault set FTGCR's
+  // next_hop is a pure table lookup — no cache traffic, no version checks.
+  const GaussianCube gc(8, 2);
+  const FaultSet faults;
+  const FtgcrRouter router(gc, faults);
+  for (const auto& [s, d] : sample_pairs(gc, faults, 50, 606)) {
+    ASSERT_TRUE(router.next_hop(s, d).has_value());
+  }
+  EXPECT_EQ(router.cache_stats().plan.lookups(), 0u);
+  EXPECT_EQ(router.cache_stats().hop.lookups(), 0u);
 }
 
 TEST(RouteCacheTest, FtgcrRepeatedQueriesAreStableWithinVersion) {

@@ -68,6 +68,50 @@ TEST(NetworkSim, DeliversTrafficAtLowLoad) {
             0.8 * static_cast<double>(m.generated));
 }
 
+TEST(NetworkSim, CarryoverDeliveriesNeverInflateTheDeliveryRatio) {
+  // Regression: packets generated in the last warmup cycles and completed
+  // inside the window used to be counted in `delivered`, so a short window
+  // behind a congested warmup could report delivered > generated and
+  // delivery_ratio() > 1. They now land in carryover_delivered.
+  const GaussianCube gc(8, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig cfg;
+  cfg.injection_rate = 0.25;
+  cfg.warmup_cycles = 40;
+  cfg.measure_cycles = 60;
+  cfg.seed = 7;
+  for (const bool modern : {true, false}) {
+    cfg.fabric = modern;
+    cfg.active_set = modern;
+    const SimMetrics m = NetworkSim(gc, router, none, cfg).run();
+    ASSERT_GT(m.generated, 0u);
+    EXPECT_GT(m.carryover_delivered, 0u)
+        << "warmup packets should straddle into this window";
+    EXPECT_LE(m.delivered, m.generated);
+    EXPECT_LE(m.delivery_ratio(), 1.0);
+  }
+}
+
+TEST(NetworkSim, FabricSteeringMatchesPlannedRoutingBitForBitFaultFree) {
+  // With no faults every node is overlay-clean, so a steered packet takes
+  // exactly the table hops — which are byte-identical to the plan the
+  // legacy path would have attached at injection. Holding the injection
+  // realization fixed (active_set off on both sides), the two execution
+  // modes must therefore produce identical metrics, not just similar ones.
+  const GaussianCube gc(8, 2);
+  const FfgcrRouter router(gc);
+  const FaultSet none;
+  SimConfig cfg = quick_config();
+  cfg.active_set = false;
+  cfg.fabric = true;
+  const SimMetrics steered = NetworkSim(gc, router, none, cfg).run();
+  cfg.fabric = false;
+  const SimMetrics planned = NetworkSim(gc, router, none, cfg).run();
+  ASSERT_GT(steered.delivered, 0u);
+  EXPECT_TRUE(steered.deterministic_equals(planned));
+}
+
 TEST(NetworkSim, LatencyAtLeastHopsPlusOne) {
   // Each hop takes at least one cycle and delivery happens on dequeue at
   // the destination, so latency >= hops per packet; averages must agree.
