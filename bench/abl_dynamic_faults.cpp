@@ -60,10 +60,10 @@ int main() {
                    std::to_string(cell.ftgcr.fault_events_scheduled),
                    fmt_double(ft.delivery_ratio(), 4),
                    std::to_string(ft.reroutes),
-                   std::to_string(ft.dropped_en_route),
+                   std::to_string(ft.dropped_en_route()),
                    std::to_string(ft.orphaned_by_node_fault),
                    fmt_double(ec.delivery_ratio(), 4),
-                   std::to_string(ec.dropped_en_route)});
+                   std::to_string(ec.dropped_en_route())});
   }
   table.print(std::cout);
 

@@ -15,6 +15,14 @@
 //   # comment
 //   <cycle> node <node-id>
 //   <cycle> link <node-id> <dim>
+//   <cycle> repair-node <node-id>
+//   <cycle> repair-link <node-id> <dim>
+//
+// Transient-fault recovery (repairs, flapping links, retry delivery):
+//
+//   $ ./sim_cli --n 9 --fault-rate 0.002 --fault-repair 250
+//               --retry-limit 8 --retry-budget 4    (one command line)
+//   $ ./sim_cli --n 9 --flap-links 16 --mttf 300 --mttr 60 --retry-limit 8
 #include <iostream>
 #include <string>
 
@@ -54,8 +62,10 @@ int main(int argc, char** argv) {
     CliArgs args(argc, argv);
     args.allow({"n", "modulus", "rate", "cycles", "warmup", "faults",
                 "pattern", "seed", "buffers", "service", "router",
-                "fault-schedule", "fault-rate", "threads", "oversubscribe",
-                "no-fabric", "no-active-set", "help"});
+                "fault-schedule", "fault-rate", "fault-repair", "flap-links",
+                "mttf", "mttr", "retry-limit", "retry-backoff",
+                "retry-budget", "retransmit-timeout", "threads",
+                "oversubscribe", "no-fabric", "no-active-set", "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
@@ -63,11 +73,23 @@ int main(int argc, char** argv) {
           << "               [--seed S] [--buffers B] [--service K]\n"
           << "               [--router auto|ffgcr|ftgcr|ecube]\n"
           << "               [--fault-schedule FILE] [--fault-rate R]\n"
+          << "               [--fault-repair D] [--flap-links L]\n"
+          << "               [--mttf M] [--mttr M] [--retry-limit K]\n"
+          << "               [--retry-backoff B] [--retry-budget R]\n"
+          << "               [--retransmit-timeout T]\n"
           << "               [--threads T] [--oversubscribe]\n"
           << "               [--no-fabric] [--no-active-set]\n"
           << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
           << "scheduled events mutate the network mid-run and packets\n"
           << "re-route per hop around faults discovered en route.\n"
+          << "--fault-repair D: each random node fault heals D cycles\n"
+          << "after it lands (transient faults).\n"
+          << "--flap-links L with --mttf/--mttr: L links fail and heal\n"
+          << "repeatedly (geometric up/down times with those means).\n"
+          << "--retry-limit K: park a stranded packet up to K times with\n"
+          << "exponential backoff (--retry-backoff, default 2) instead of\n"
+          << "dropping it; --retry-budget R adds up to R end-to-end\n"
+          << "source retransmits after --retransmit-timeout cycles.\n"
           << "--threads: simulation worker threads (0 = auto). Metrics\n"
           << "are bit-identical for any thread count at a fixed seed;\n"
           << "counts above the core count are clamped unless\n"
@@ -89,6 +111,20 @@ int main(int argc, char** argv) {
           FaultSchedule::from_file(args.get_string("fault-schedule", ""));
     }
     spec.fault_rate = args.get_double("fault-rate", 0.0);
+    spec.fault_repair_after =
+        static_cast<Cycle>(args.get_int("fault-repair", 0));
+    spec.flapping_links =
+        static_cast<std::size_t>(args.get_int("flap-links", 0));
+    spec.mttf = args.get_double("mttf", 200.0);
+    spec.mttr = args.get_double("mttr", 50.0);
+    spec.sim.retry_limit =
+        static_cast<std::uint32_t>(args.get_int("retry-limit", 0));
+    spec.sim.retry_backoff_base =
+        static_cast<Cycle>(args.get_int("retry-backoff", 2));
+    spec.sim.retry_budget =
+        static_cast<std::uint32_t>(args.get_int("retry-budget", 0));
+    spec.sim.retransmit_timeout =
+        static_cast<Cycle>(args.get_int("retransmit-timeout", 64));
     spec.sim.injection_rate = args.get_double("rate", 0.02);
     spec.sim.measure_cycles =
         static_cast<Cycle>(args.get_int("cycles", 1500));
@@ -113,6 +149,7 @@ int main(int argc, char** argv) {
                    std::to_string(outcome.fault_events_scheduled)});
     table.add_row({"fault events applied (measured)",
                    std::to_string(m.fault_events)});
+    table.add_row({"repairs applied", std::to_string(m.repairs_applied)});
     table.add_row({"generated (offered)", std::to_string(m.generated)});
     table.add_row({"accepted", std::to_string(m.accepted())});
     table.add_row({"delivered", std::to_string(m.delivered)});
@@ -121,9 +158,15 @@ int main(int argc, char** argv) {
     table.add_row({"delivery ratio", fmt_double(m.delivery_ratio(), 4)});
     table.add_row({"dropped (at injection)", std::to_string(m.dropped)});
     table.add_row({"reroutes", std::to_string(m.reroutes)});
-    table.add_row({"dropped en route", std::to_string(m.dropped_en_route)});
+    table.add_row({"dropped no route", std::to_string(m.dropped_no_route)});
+    table.add_row({"dropped hop limit",
+                   std::to_string(m.dropped_hop_limit)});
     table.add_row({"orphaned by node fault",
                    std::to_string(m.orphaned_by_node_fault)});
+    table.add_row({"parked retries", std::to_string(m.parked_retries)});
+    table.add_row({"retransmits", std::to_string(m.retransmits)});
+    table.add_row({"gave up", std::to_string(m.gave_up)});
+    table.add_row({"in flight at end", std::to_string(m.in_flight_at_end)});
     table.add_row({"avg hops", fmt_double(m.avg_hops(), 3)});
     table.add_row({"avg latency (cycles)", fmt_double(m.avg_latency(), 3)});
     table.add_row({"p50 latency (<=)",

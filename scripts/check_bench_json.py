@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Schema and sanity check for perf_simcore's BENCH_simcore.json.
+"""Schema and sanity check for the JSON benchmark reports.
 
-CI runs this right after the benchmark. Wall-clock throughput is NOT
+CI runs this right after each benchmark. Wall-clock throughput is NOT
 gated (shared runners make absolute numbers indicative only); what IS
-gated is that the benchmark produced a well-formed report: the headline
-cell exists and carries its speedup field, scaling and legacy-twin cells
-carry theirs, and the per-cell counters are internally consistent
-(delivered can never exceed offered load, throughput must match
-delivered / seconds). A malformed or truncated JSON fails the build.
+gated is that the benchmark produced a well-formed report. The file's
+"bench" field selects the checker:
+
+  perf_simcore   the headline cell exists and carries its speedup field,
+                 scaling and legacy-twin cells carry theirs, and per-cell
+                 counters are internally consistent (delivered can never
+                 exceed offered load, throughput must match
+                 delivered / seconds);
+  abl_recovery   all four recovery cells are present with closed packet
+                 accounting, the transient-with-retries cell recovered to
+                 a delivery ratio >= 0.99, and the same churn made
+                 permanent stayed strictly degraded.
+
+A malformed or truncated JSON fails the build.
 
 Usage: check_bench_json.py BENCH_simcore.json
+       check_bench_json.py BENCH_recovery.json
 """
 
 import json
@@ -20,6 +30,17 @@ REQUIRED_CELL_FIELDS = (
     "warmup_cycles", "measure_cycles", "threads", "fabric", "active_set",
     "seconds", "cycles_per_sec", "generated", "delivered",
     "carryover_delivered", "total_hops", "packets_per_sec", "hops_per_sec",
+)
+
+REQUIRED_RECOVERY_FIELDS = (
+    "name", "delivery_ratio", "generated", "delivered", "repairs_applied",
+    "fault_events", "parked_retries", "retransmits", "gave_up",
+    "dropped_no_route", "dropped_hop_limit", "orphaned", "in_flight_at_end",
+    "accounting_closed",
+)
+
+RECOVERY_CELLS = (
+    "fault_free", "transient_retry", "transient_no_retry", "permanent",
 )
 
 # packets_per_sec is serialized with %.6g; allow generous rounding slack.
@@ -54,17 +75,7 @@ def check_cell(cell):
              f"delivered/seconds = {expect_pps:.0f}")
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH_simcore.json")
-    try:
-        with open(sys.argv[1], encoding="utf-8") as fh:
-            report = json.load(fh)
-    except (OSError, json.JSONDecodeError) as err:
-        fail(f"cannot read {sys.argv[1]}: {err}")
-
-    if report.get("bench") != "perf_simcore":
-        fail(f"unexpected bench id {report.get('bench')!r}")
+def check_perf_simcore(report):
     if report.get("schema_version", 0) < 2:
         fail(f"schema_version {report.get('schema_version')!r} < 2")
 
@@ -107,6 +118,73 @@ def main():
     print(f"check_bench_json: OK: {len(cells)} cells, headline "
           f"{headline_name} speedup_vs_baseline="
           f"{headline['speedup_vs_baseline']:.2f}")
+
+
+def check_recovery_cell(cell):
+    name = cell.get("name", "<unnamed>")
+    for field in REQUIRED_RECOVERY_FIELDS:
+        if field not in cell:
+            fail(f"cell {name}: missing field '{field}'")
+    if not 0.0 <= cell["delivery_ratio"] <= 1.0:
+        fail(f"cell {name}: delivery_ratio {cell['delivery_ratio']} "
+             "outside [0, 1]")
+    if cell["delivered"] > cell["generated"]:
+        fail(f"cell {name}: delivered {cell['delivered']} exceeds "
+             f"generated {cell['generated']}")
+    # The benchmark runs with warmup 0 precisely so the accounting identity
+    # closes exactly; an open identity means the retry machinery leaked or
+    # double-counted a packet.
+    if cell["accounting_closed"] is not True:
+        fail(f"cell {name}: packet accounting identity did not close")
+
+
+def check_abl_recovery(report):
+    if report.get("schema_version", 0) < 1:
+        fail(f"schema_version {report.get('schema_version')!r} < 1")
+    cells = report.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("cells missing or empty")
+    by_name = {}
+    for cell in cells:
+        check_recovery_cell(cell)
+        by_name[cell["name"]] = cell
+    for name in RECOVERY_CELLS:
+        if name not in by_name:
+            fail(f"recovery cell {name!r} not in report")
+
+    healed = by_name["transient_retry"]["delivery_ratio"]
+    broken = by_name["permanent"]["delivery_ratio"]
+    if healed < 0.99:
+        fail(f"transient_retry delivery_ratio {healed} below 0.99 — "
+             "retries over healing faults failed to recover")
+    if healed <= broken:
+        fail(f"permanent churn should stay degraded: transient_retry "
+             f"{healed} vs permanent {broken}")
+    if by_name["transient_retry"]["repairs_applied"] == 0:
+        fail("transient_retry applied no repairs — schedule broken")
+    if by_name["permanent"]["repairs_applied"] != 0:
+        fail("permanent cell applied repairs — without_repairs() broken")
+
+    print(f"check_bench_json: OK: {len(cells)} cells, transient_retry "
+          f"delivery={healed:.4f} vs permanent {broken:.4f}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH_<name>.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {sys.argv[1]}: {err}")
+
+    bench = report.get("bench")
+    if bench == "perf_simcore":
+        check_perf_simcore(report)
+    elif bench == "abl_recovery":
+        check_abl_recovery(report)
+    else:
+        fail(f"unexpected bench id {bench!r}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,23 @@ void FaultSet::fail_link(NodeId u, Dim c) {
   }
 }
 
+bool FaultSet::repair_node(NodeId u) {
+  if (faulty_nodes_set_.erase(u) == 0) return false;
+  std::erase(faulty_nodes_, u);
+  ++version_;
+  ++generation_;  // entry removed: incremental cursors are invalid
+  return true;
+}
+
+bool FaultSet::repair_link(NodeId u, Dim c) {
+  const LinkId l = LinkId::of(u, c);
+  if (faulty_links_set_.erase(key(l)) == 0) return false;
+  std::erase(faulty_links_, l);
+  ++version_;
+  ++generation_;  // entry removed: incremental cursors are invalid
+  return true;
+}
+
 void FaultSet::clear() {
   if (!empty()) {
     ++version_;

@@ -38,6 +38,16 @@ class FaultSet {
   /// given). Idempotent.
   void fail_link(NodeId u, Dim c);
 
+  /// Clears node u's fault mark (a transient fault healed — the node
+  /// rebooted). Returns true iff u was faulty. Any link fault marks that
+  /// were recorded independently of the node remain in place.
+  bool repair_node(NodeId u);
+
+  /// Clears the fault mark of the link in dimension c at node u (either
+  /// endpoint may be given). Returns true iff the link was marked. The link
+  /// stays unusable while either endpoint node is still faulty.
+  bool repair_link(NodeId u, Dim c);
+
   [[nodiscard]] bool node_faulty(NodeId u) const {
     return faulty_nodes_set_.contains(u);
   }
@@ -55,15 +65,19 @@ class FaultSet {
            !node_faulty(flip_bit(u, c));
   }
 
-  /// Mutation counter: bumped whenever the fault set actually changes.
-  /// Consumers that cache fault-dependent plans (the routers' per-hop
-  /// memoization) compare versions instead of subscribing to callbacks.
+  /// Mutation counter: bumped whenever the fault set actually changes —
+  /// failures AND repairs. Consumers that cache fault-dependent plans (the
+  /// routers' per-hop memoization) compare versions instead of subscribing
+  /// to callbacks; entries stamped before a repair go stale exactly like
+  /// entries stamped before a failure.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
-  /// Number of clear() calls that discarded entries. Incremental consumers
-  /// of the insertion-order vectors (fault/overlay.hpp) use this to tell
-  /// "entries appended" from "entries discarded and re-added", which a
-  /// version move alone cannot distinguish.
+  /// Number of mutations that *discarded* entries: clear() calls and
+  /// successful repairs. Incremental consumers of the insertion-order
+  /// vectors (fault/overlay.hpp) use this to tell "entries appended" from
+  /// "entries removed", which a version move alone cannot distinguish —
+  /// after a removal the vectors are no longer a superset of what the
+  /// consumer already applied, so it must rebuild.
   [[nodiscard]] std::uint64_t generation() const noexcept {
     return generation_;
   }

@@ -58,8 +58,9 @@ void FaultOverlay::refresh(const FaultSet& faults) {
   const std::vector<NodeId>& nodes = faults.faulty_nodes();
   const std::vector<LinkId>& links = faults.faulty_links();
   if (generation_seen_ != faults.generation()) {
-    // A clear() happened since the last refresh: the cursors no longer
-    // describe a prefix of the vectors, even if they regrew past them.
+    // Entries were discarded (clear() or a repair) since the last refresh:
+    // the cursors no longer describe a prefix of the vectors, even if they
+    // regrew past them, and removals cannot be replayed incrementally.
     rebuild(faults);
     generation_seen_ = faults.generation();
   } else {

@@ -32,7 +32,8 @@ class FaultOverlay {
 
   /// Brings the masks up to date with `faults`. Incremental: only fault
   /// entries appended since the last refresh are applied (a generation()
-  /// move — FaultSet::clear() — forces a full rebuild). No-op when the
+  /// move — FaultSet::clear() or a repair — forces a full rebuild, since
+  /// removals cannot be replayed through append cursors). No-op when the
   /// version is unchanged.
   void refresh(const FaultSet& faults);
 

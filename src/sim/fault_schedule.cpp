@@ -1,6 +1,7 @@
 #include "sim/fault_schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -10,16 +11,27 @@
 
 namespace gcube {
 
-void FaultSchedule::fail_node_at(Cycle cycle, NodeId node) {
-  events_.push_back({cycle, FaultEvent::Kind::kNode, node, 0});
+void FaultSchedule::push(Cycle cycle, FaultEvent::Kind kind, NodeId node,
+                         Dim dim) {
+  events_.push_back({cycle, kind, node, dim});
   sorted_ = events_.size() == 1 ||
             (sorted_ && events_[events_.size() - 2].cycle <= cycle);
 }
 
+void FaultSchedule::fail_node_at(Cycle cycle, NodeId node) {
+  push(cycle, FaultEvent::Kind::kNode, node, 0);
+}
+
 void FaultSchedule::fail_link_at(Cycle cycle, NodeId node, Dim dim) {
-  events_.push_back({cycle, FaultEvent::Kind::kLink, node, dim});
-  sorted_ = events_.size() == 1 ||
-            (sorted_ && events_[events_.size() - 2].cycle <= cycle);
+  push(cycle, FaultEvent::Kind::kLink, node, dim);
+}
+
+void FaultSchedule::repair_node_at(Cycle cycle, NodeId node) {
+  push(cycle, FaultEvent::Kind::kRepairNode, node, 0);
+}
+
+void FaultSchedule::repair_link_at(Cycle cycle, NodeId node, Dim dim) {
+  push(cycle, FaultEvent::Kind::kRepairLink, node, dim);
 }
 
 const std::vector<FaultEvent>& FaultSchedule::events() const {
@@ -31,6 +43,14 @@ const std::vector<FaultEvent>& FaultSchedule::events() const {
     sorted_ = true;
   }
   return events_;
+}
+
+FaultSchedule FaultSchedule::without_repairs() const {
+  FaultSchedule permanent;
+  for (const FaultEvent& ev : events()) {
+    if (!ev.is_repair()) permanent.push(ev.cycle, ev.kind, ev.node, ev.dim);
+  }
+  return permanent;
 }
 
 FaultSchedule FaultSchedule::random_node_faults(std::uint64_t node_count,
@@ -58,10 +78,70 @@ FaultSchedule FaultSchedule::random_node_faults(std::uint64_t node_count,
   return schedule;
 }
 
+namespace {
+
+// Geometric dwell time with the given mean, support {1, 2, ...}: the
+// discrete analogue of an exponential holding time, so the flap process is
+// memoryless at cycle granularity. Inversion keeps it one draw per dwell.
+Cycle geometric_dwell(Xoshiro256& rng, double mean) {
+  const double p = 1.0 / mean;
+  if (p >= 1.0) return 1;
+  const double u = rng.uniform();
+  const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  // Clamp against pathological u≈1 draws overflowing the cycle counter.
+  if (!(g >= 0.0) || g > 1e15) return 1;
+  return 1 + static_cast<Cycle>(g);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::random_flapping_links(
+    const std::vector<LinkId>& candidates, std::size_t flapping, double mttf,
+    double mttr, Cycle horizon, std::uint64_t seed) {
+  GCUBE_REQUIRE(mttf >= 1.0, "mean time to failure must be >= 1 cycle");
+  GCUBE_REQUIRE(mttr >= 1.0, "mean time to repair must be >= 1 cycle");
+  GCUBE_REQUIRE(flapping <= candidates.size(),
+                "cannot flap more links than there are candidates");
+  FaultSchedule schedule;
+  Xoshiro256 rng(seed);
+
+  // Pick `flapping` distinct candidate indices, in draw order (so the
+  // schedule is deterministic in the candidate vector's order + seed).
+  std::vector<std::size_t> picked;
+  picked.reserve(flapping);
+  std::vector<bool> taken(candidates.size(), false);
+  while (picked.size() < flapping) {
+    const auto i = static_cast<std::size_t>(rng.below(candidates.size()));
+    if (!taken[i]) {
+      taken[i] = true;
+      picked.push_back(i);
+    }
+  }
+
+  for (const std::size_t i : picked) {
+    const LinkId link = candidates[i];
+    // Renewal process: up for ~mttf, down for ~mttr, repeat. The first
+    // up-time staggers the links so they don't all fail at cycle ~mttf.
+    Cycle t = geometric_dwell(rng, mttf);
+    while (t < horizon) {
+      schedule.fail_link_at(t, link.lo, link.dim);
+      t += geometric_dwell(rng, mttr);
+      if (t >= horizon) break;  // horizon cut the flap short: stays failed
+      schedule.repair_link_at(t, link.lo, link.dim);
+      t += geometric_dwell(rng, mttf);
+    }
+  }
+  return schedule;
+}
+
 FaultSchedule FaultSchedule::parse(std::istream& in) {
   FaultSchedule schedule;
   std::string line;
   std::size_t line_no = 0;
+  const auto bad = [&line_no](const std::string& what) {
+    return std::invalid_argument("fault schedule line " +
+                                 std::to_string(line_no) + ": " + what);
+  };
   while (std::getline(in, line)) {
     ++line_no;
     const auto first = line.find_first_not_of(" \t\r");
@@ -71,31 +151,41 @@ FaultSchedule FaultSchedule::parse(std::istream& in) {
     std::string kind;
     std::uint64_t node = 0;
     if (!(fields >> cycle >> kind >> node)) {
-      throw std::invalid_argument("fault schedule line " +
-                                  std::to_string(line_no) +
-                                  ": expected '<cycle> node|link <id> ...'");
+      throw bad("expected '<cycle> node|link|repair-node|repair-link <id> ...'");
+    }
+    // Reject ids no topology can hold here, with the line number; the
+    // tighter per-topology bound is checked when the schedule is attached.
+    if (node >= pow2(kMaxDimension)) {
+      throw bad("node id " + std::to_string(node) + " out of range (max " +
+                std::to_string(pow2(kMaxDimension) - 1) + ")");
+    }
+    const bool is_link = kind == "link" || kind == "repair-link";
+    std::uint64_t dim = 0;
+    if (is_link) {
+      if (!(fields >> dim)) {
+        throw bad("link events need '<cycle> " + kind + " <node> <dim>'");
+      }
+      if (dim >= kMaxDimension) {
+        throw bad("dimension " + std::to_string(dim) + " out of range (max " +
+                  std::to_string(kMaxDimension - 1) + ")");
+      }
     }
     if (kind == "node") {
       schedule.fail_node_at(cycle, static_cast<NodeId>(node));
     } else if (kind == "link") {
-      std::uint64_t dim = 0;
-      if (!(fields >> dim)) {
-        throw std::invalid_argument(
-            "fault schedule line " + std::to_string(line_no) +
-            ": link events need '<cycle> link <node> <dim>'");
-      }
       schedule.fail_link_at(cycle, static_cast<NodeId>(node),
                             static_cast<Dim>(dim));
+    } else if (kind == "repair-node") {
+      schedule.repair_node_at(cycle, static_cast<NodeId>(node));
+    } else if (kind == "repair-link") {
+      schedule.repair_link_at(cycle, static_cast<NodeId>(node),
+                              static_cast<Dim>(dim));
     } else {
-      throw std::invalid_argument("fault schedule line " +
-                                  std::to_string(line_no) +
-                                  ": unknown event kind '" + kind + "'");
+      throw bad("unknown event kind '" + kind + "'");
     }
     std::string rest;
     if (fields >> rest && rest[0] != '#') {
-      throw std::invalid_argument("fault schedule line " +
-                                  std::to_string(line_no) +
-                                  ": trailing garbage '" + rest + "'");
+      throw bad("trailing garbage '" + rest + "'");
     }
   }
   return schedule;

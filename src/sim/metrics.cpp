@@ -59,9 +59,15 @@ void SimMetrics::absorb(const SimMetrics& shard) noexcept {
   stalled_cycles += shard.stalled_cycles;
   deadlocked = deadlocked || shard.deadlocked;
   fault_events += shard.fault_events;
+  repairs_applied += shard.repairs_applied;
   reroutes += shard.reroutes;
-  dropped_en_route += shard.dropped_en_route;
+  dropped_no_route += shard.dropped_no_route;
+  dropped_hop_limit += shard.dropped_hop_limit;
   orphaned_by_node_fault += shard.orphaned_by_node_fault;
+  parked_retries += shard.parked_retries;
+  retransmits += shard.retransmits;
+  gave_up += shard.gave_up;
+  in_flight_at_end += shard.in_flight_at_end;
   latency_histogram.merge(shard.latency_histogram);
   plan_cache += shard.plan_cache;
   hop_cache += shard.hop_cache;
@@ -77,9 +83,14 @@ bool SimMetrics::deterministic_equals(const SimMetrics& o) const noexcept {
          peak_in_flight == o.peak_in_flight &&
          injections_blocked == o.injections_blocked &&
          stalled_cycles == o.stalled_cycles && deadlocked == o.deadlocked &&
-         fault_events == o.fault_events && reroutes == o.reroutes &&
-         dropped_en_route == o.dropped_en_route &&
+         fault_events == o.fault_events &&
+         repairs_applied == o.repairs_applied && reroutes == o.reroutes &&
+         dropped_no_route == o.dropped_no_route &&
+         dropped_hop_limit == o.dropped_hop_limit &&
          orphaned_by_node_fault == o.orphaned_by_node_fault &&
+         parked_retries == o.parked_retries &&
+         retransmits == o.retransmits && gave_up == o.gave_up &&
+         in_flight_at_end == o.in_flight_at_end &&
          latency_histogram == o.latency_histogram;
 }
 

@@ -74,14 +74,27 @@ struct SimMetrics {
   std::uint64_t stalled_cycles = 0;  // cycles with traffic but no movement
   bool deadlocked = false;           // sustained global stall detected
   // Degradation accounting. fault_events / orphaned_by_node_fault are zero
-  // in static-fault runs; reroutes and dropped_en_route can be nonzero in
-  // any faulty run — fabric-steered packets re-plan at fault-adjacent
-  // nodes whether the faults are static or applied mid-run.
+  // in static-fault runs; reroutes and the two en-route drop counters can
+  // be nonzero in any faulty run — fabric-steered packets re-plan at
+  // fault-adjacent nodes whether the faults are static or applied mid-run.
   std::uint64_t fault_events = 0;    // schedule events applied (measured)
+  std::uint64_t repairs_applied = 0;  // repair events that cleared a fault
   std::uint64_t reroutes = 0;        // planned next link died; re-planned
-  std::uint64_t dropped_en_route = 0;  // no usable continuation after a
-                                       // mid-flight fault (or hop limit)
+  std::uint64_t dropped_no_route = 0;   // no usable continuation mid-flight
+  std::uint64_t dropped_hop_limit = 0;  // livelock guard tripped
   std::uint64_t orphaned_by_node_fault = 0;  // queued at a node that died
+  // Transient-fault recovery accounting (zero unless SimConfig::retry_limit
+  // or retry_budget is set).
+  std::uint64_t parked_retries = 0;  // strandings parked for backoff retry
+  std::uint64_t retransmits = 0;     // end-to-end source relaunches
+  std::uint64_t gave_up = 0;         // retries and retransmits exhausted
+  /// Packets still inside the network (queued, in a mailbox, or parked for
+  /// retry) when the run ended — the closing term of the accounting
+  /// identity: generated = delivered(+carryover at warmup boundary) +
+  /// dropped + injections_blocked + dropped_no_route + dropped_hop_limit +
+  /// orphaned_by_node_fault + gave_up + in_flight_at_end, exact when
+  /// warmup_cycles == 0. Serial field (set once after the cycle loop).
+  std::uint64_t in_flight_at_end = 0;
   LatencyHistogram latency_histogram;
   /// Router memoization counters over the measurement window (cache state
   /// at run() end minus the snapshot at measurement start). Diagnostics,
@@ -114,6 +127,11 @@ struct SimMetrics {
     return generated == 0 ? 0.0
                           : static_cast<double>(delivered) /
                                 static_cast<double>(generated);
+  }
+  /// Total packets lost to mid-flight faults, either shape. Kept as a
+  /// derived view for display; the split fields are the source of truth.
+  [[nodiscard]] std::uint64_t dropped_en_route() const {
+    return dropped_no_route + dropped_hop_limit;
   }
   /// DP / PT with PT = measured cycles (packets per cycle).
   [[nodiscard]] double throughput() const {

@@ -28,6 +28,13 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
   GCUBE_REQUIRE(config.measure_cycles >= 1, "nothing to measure");
   GCUBE_REQUIRE(config.threads <= kMaxPoolShards,
                 "thread count exceeds the packet-reference shard space");
+  GCUBE_REQUIRE(config.retry_limit <= 32,
+                "retry limit above 32 would overflow the backoff shift");
+  GCUBE_REQUIRE(config.retry_backoff_base >= 1,
+                "retry backoff base must be at least one cycle");
+  GCUBE_REQUIRE(config.retry_budget == 0 || config.retransmit_timeout >= 1,
+                "retransmit timeout must be at least one cycle");
+  retries_ = config.retry_limit > 0 || config.retry_budget > 0;
   dims_ = topo.dims();
   node_count_ = topo.node_count();
   overlay_.attach(topo_);
@@ -70,7 +77,7 @@ void NetworkSim::attach_schedule(FaultSet& faults,
     const FaultEvent& e = events[i];
     GCUBE_REQUIRE(e.node < topo_.node_count(),
                   "fault event node out of range");
-    GCUBE_REQUIRE(e.kind == FaultEvent::Kind::kNode || e.dim < topo_.dims(),
+    GCUBE_REQUIRE(!e.targets_link() || e.dim < topo_.dims(),
                   "fault event dimension out of range");
     // apply_fault_events consumes the list front to back and would
     // silently skip any event filed behind a later-cycle one.
@@ -101,6 +108,7 @@ void NetworkSim::configure_shards(unsigned shard_count) {
       sh.active.reset(sh.end - sh.begin);
       sh.wheel.assign(kWheelSize, {});
       sh.far_fires = {};
+      sh.armed.assign(sh.end - sh.begin, 0);
     }
     begin = sh.end;
   }
@@ -108,6 +116,9 @@ void NetworkSim::configure_shards(unsigned shard_count) {
   link_busy_.assign(nodes * topo_.dims(), 0);
   occ_.assign(config_.buffer_limit != 0 ? nodes : 0, 0);
   in_flight_ = 0;
+  parked_.clear();
+  parked_count_.assign(retries_ ? nodes : 0, 0);
+  parked_now_ = 0;
 }
 
 unsigned NetworkSim::shard_of(NodeId u) const noexcept {
@@ -166,22 +177,150 @@ void NetworkSim::apply_fault_events(Cycle now, bool measuring) {
          schedule_events_[next_event_].cycle <= now) {
     const FaultEvent& e = schedule_events_[next_event_++];
     if (measuring) ++metrics_.fault_events;
-    if (e.kind == FaultEvent::Kind::kLink) {
-      live_faults_->fail_link(e.node, e.dim);
-      continue;
-    }
-    live_faults_->fail_node(e.node);
-    // Packets sitting at (or in transit to) the dead node are lost with it.
-    const std::size_t lost = discard_packets_at(e.node);
-    if (lost > 0) {
-      in_flight_ -= lost;
-      if (measuring) metrics_.orphaned_by_node_fault += lost;
+    switch (e.kind) {
+      case FaultEvent::Kind::kLink:
+        live_faults_->fail_link(e.node, e.dim);
+        break;
+      case FaultEvent::Kind::kNode: {
+        live_faults_->fail_node(e.node);
+        // Packets sitting at (or in transit to) the dead node are lost
+        // with it. (Parked retries at it survive until their wake cycle,
+        // where the same orphan accounting applies.)
+        const std::size_t lost = discard_packets_at(e.node);
+        if (lost > 0) {
+          in_flight_ -= lost;
+          if (measuring) metrics_.orphaned_by_node_fault += lost;
+        }
+        break;
+      }
+      case FaultEvent::Kind::kRepairLink:
+        if (live_faults_->repair_link(e.node, e.dim) && measuring) {
+          ++metrics_.repairs_applied;
+        }
+        break;
+      case FaultEvent::Kind::kRepairNode:
+        if (live_faults_->repair_node(e.node)) {
+          if (measuring) ++metrics_.repairs_applied;
+          // The node's injection fire may have been consumed while it was
+          // dead (gap-scheduled mode deschedules ineligible nodes); give
+          // it a fresh one so traffic resumes.
+          if (active_set_) rearm_injection(e.node, now);
+        }
+        break;
     }
   }
   // Serial point: bring the overlay masks up to date before workers read
-  // them. No-op (one version compare) when nothing changed.
+  // them. No-op (one version compare) when nothing changed. A repair bumps
+  // the fault set's generation, which forces the full rebuild an
+  // incremental (append-only) refresh cannot express.
   overlay_.refresh(faults_);
   no_faults_ = faults_.empty();
+}
+
+void NetworkSim::rearm_injection(NodeId u, Cycle now) {
+  Shard& sh = shards_[shard_of(u)];
+  if (sh.armed[u - sh.begin] != 0) return;  // a live fire already exists
+  if (!traffic_.eligible(u)) return;
+  // Dedicated re-arm draw stream: keyed off a salted seed so it can never
+  // collide with the per-(node, cycle) injection draws — and is a pure
+  // function of (seed, node, repair cycle), preserving determinism.
+  constexpr std::uint64_t kRearmSalt = 0x7265'6172'6d21'9e37ull;
+  CounterRng rng(counter_key(config_.seed ^ kRearmSalt, u, now));
+  const std::uint64_t gap = traffic_.injection_gap(u, rng);
+  // Same convention as the pre-run seeding: a gap of g fires g - 1 cycles
+  // out, so the repair cycle itself injects with the usual probability.
+  if (gap == TrafficModel::kNeverGap || gap - 1 >= total_cycles_ - now) {
+    return;
+  }
+  schedule_fire(sh, now, now + gap - 1, u);
+}
+
+void NetworkSim::commit_stranded(Cycle now, bool measuring,
+                                 std::uint64_t& gave_up_removed) {
+  // Ascending shard order = ascending strand-node order (phase B serves
+  // nodes in ascending order within each contiguous shard), so the park /
+  // retransmit / give-up decisions — which consume shared budgets like
+  // park_capacity — are identical for any shard count.
+  for (Shard& sh : shards_) {
+    while (!sh.stranded.empty()) {
+      const Arrival s = sh.stranded.front();
+      sh.stranded.pop_front();
+      Packet& p = packet(s.ref);
+      if (p.retry_attempts < config_.retry_limit &&
+          parked_count_[s.node] < config_.park_capacity) {
+        const Cycle delay = config_.retry_backoff_base << p.retry_attempts;
+        ++p.retry_attempts;
+        parked_.emplace(now + delay, Parked{s.node, s.ref, false});
+        ++parked_count_[s.node];
+        ++parked_now_;
+        if (measuring) ++metrics_.parked_retries;
+      } else if (p.retransmits_used < config_.retry_budget) {
+        // End-to-end recovery: relaunch from the source after the timeout
+        // with a clean slate of local retries.
+        ++p.retransmits_used;
+        p.retry_attempts = 0;
+        parked_.emplace(now + config_.retransmit_timeout,
+                        Parked{p.src, s.ref, true});
+        ++parked_now_;
+        if (measuring) ++metrics_.retransmits;
+      } else {
+        shards_[packet_ref_shard(s.ref)].pool.release(packet_ref_slot(s.ref));
+        ++gave_up_removed;
+        if (measuring) ++metrics_.gave_up;
+      }
+    }
+  }
+}
+
+void NetworkSim::wake_parked(Cycle now, bool measuring) {
+  while (!parked_.empty() && parked_.begin()->first <= now) {
+    const Parked pk = parked_.begin()->second;
+    parked_.erase(parked_.begin());
+    --parked_now_;
+    if (!pk.respawn) --parked_count_[pk.node];
+    const auto release = [&] {
+      shards_[packet_ref_shard(pk.ref)].pool.release(packet_ref_slot(pk.ref));
+      --in_flight_;
+    };
+    if (faults_.node_faulty(pk.node)) {
+      // The wake site died while the packet was parked: lost with it.
+      release();
+      if (measuring) ++metrics_.orphaned_by_node_fault;
+      continue;
+    }
+    Packet& p = packet(pk.ref);
+    if (pk.respawn) {
+      // Fresh launch from the source: same id/created (latency measures
+      // end-to-end including the recovery delay), new route state.
+      p.plan.reset();
+      p.next_hop = 0;
+      p.plan_len = 0;
+      p.adaptive = false;
+      p.steer_next = 0;
+      p.tail.clear();
+      p.steered = steer_;
+      if (!steer_) {
+        std::shared_ptr<const Route> planned =
+            router_.plan_shared(p.src, p.dst);
+        if (planned == nullptr) {
+          // The planner sees no path at relaunch time; the retransmit is
+          // spent and the packet is out of options.
+          release();
+          if (measuring) ++metrics_.gave_up;
+          continue;
+        }
+        p.plan_len = static_cast<std::uint32_t>(planned->length());
+        p.plan = std::move(planned);
+      }
+    }
+    // Re-entry bypasses buffer_limit: the packet never left the network,
+    // so blocking it here would leak it from the accounting.
+    queues_[pk.node].push_back(pk.ref);
+    if (active_set_) {
+      Shard& sh = shards_[shard_of(pk.node)];
+      sh.active.set(pk.node - sh.begin);
+    }
+  }
 }
 
 void NetworkSim::admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
@@ -226,8 +365,10 @@ void NetworkSim::admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
 
 void NetworkSim::fire_injection(unsigned w, NodeId u, Cycle now,
                                 bool measuring) {
-  // Faults never heal, so a node that became ineligible since scheduling
-  // is descheduled for good (no re-arm).
+  shards_[w].armed[u - shards_[w].begin] = 0;  // this fire is consumed
+  // A node that became ineligible since scheduling is descheduled; if a
+  // later repair-node event makes it eligible again, rearm_injection gives
+  // it a fresh fire.
   if (!traffic_.eligible(u)) return;
   // Per-(node, cycle) draw stream: destination and the next gap are pure
   // functions of (seed, u, now), never of pop or thread order.
@@ -242,6 +383,7 @@ void NetworkSim::fire_injection(unsigned w, NodeId u, Cycle now,
 }
 
 void NetworkSim::schedule_fire(Shard& sh, Cycle now, Cycle at, NodeId u) {
+  sh.armed[u - sh.begin] = 1;
   if (at - now < kWheelSize) {
     // Within the wheel's span the bucket index is unambiguous: no other
     // pending cycle in [now, now + kWheelSize) shares it.
@@ -370,17 +512,32 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
     }
     // A dropped packet leaves the network for good; dropping counts as
     // progress for the stall detector.
-    const auto drop = [&]() {
-      if (measuring) ++m.dropped_en_route;
+    const auto drop_hop_limit = [&]() {
+      if (measuring) ++m.dropped_hop_limit;
       ++sh.removed;
       queue.pop_front();
       release_ref(w, ref);
       moved = true;
     };
+    // A packet with no usable continuation is dropped outright in legacy
+    // mode; in recovery mode it is handed to the serial commit, which
+    // decides between a parked retry, a source retransmit, and giving up.
+    // A stranded packet stays in flight (not counted in sh.removed).
+    const auto strand = [&]() {
+      if (retries_) {
+        sh.stranded.push_back({u, ref});
+      } else {
+        if (measuring) ++m.dropped_no_route;
+        ++sh.removed;
+        release_ref(w, ref);
+      }
+      queue.pop_front();
+      moved = true;
+    };
     Dim c;
     if (p.steered) {
       if (p.next_hop >= hop_limit_) {
-        drop();  // livelock guard, same bound as adaptive re-plans
+        drop_hop_limit();  // livelock guard, same bound as adaptive re-plans
         continue;
       }
       std::optional<Dim> hop;
@@ -413,7 +570,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
               router_.plan_shared(u, p.dst);
           if (adopted == nullptr || adopted->length() == 0 ||
               !overlay_.link_usable(u, adopted->hops().front())) {
-            drop();  // no usable continuation (dst dead or region cut off)
+            strand();  // no usable continuation (dst dead or region cut off)
             continue;
           }
           p.plan = std::move(adopted);
@@ -424,12 +581,12 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
       c = *hop;
     } else if (p.adaptive) {
       if (p.next_hop >= hop_limit_) {
-        drop();  // livelock guard: stepwise re-plans cycled
+        drop_hop_limit();  // livelock guard: stepwise re-plans cycled
         continue;
       }
       const std::optional<Dim> nh = router_.next_hop(u, p.dst);
       if (!nh || !overlay_.link_usable(u, *nh)) {
-        drop();  // no usable continuation (dst dead or region cut off)
+        strand();  // no usable continuation (dst dead or region cut off)
         continue;
       }
       c = *nh;
@@ -443,7 +600,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
         p.plan_len = p.next_hop;  // abandon the unconsumed planned tail
         const std::optional<Dim> nh = router_.next_hop(u, p.dst);
         if (!nh || !overlay_.link_usable(u, *nh)) {
-          drop();
+          strand();
           continue;
         }
         c = *nh;
@@ -595,6 +752,9 @@ SimMetrics NetworkSim::run() {
       cache_base_set = true;
     }
     apply_fault_events(now, measuring);
+    // Wake after fault application so a repair landing this cycle is
+    // already visible to the retried packets.
+    if (retries_) wake_parked(now, measuring);
     cycle_now_ = now;
     cycle_measuring_ = measuring;
     pool.run(job);
@@ -628,8 +788,12 @@ SimMetrics NetworkSim::run() {
       metrics_.peak_in_flight =
           std::max(metrics_.peak_in_flight, in_flight_ + injected);
     }
-    in_flight_ = in_flight_ + injected - removed;
-    if (!moved && in_flight_ > 0) {
+    std::uint64_t gave_up_removed = 0;
+    if (retries_) commit_stranded(now, measuring, gave_up_removed);
+    in_flight_ = in_flight_ + injected - removed - gave_up_removed;
+    // Packets parked for backoff are waiting on a timer, not on each
+    // other: only unparked in-flight packets can indicate a stall.
+    if (!moved && in_flight_ > parked_now_) {
       if (measuring) ++metrics_.stalled_cycles;
       if (++consecutive_stalls >= kDeadlockThreshold) {
         metrics_.deadlocked = true;
@@ -640,6 +804,7 @@ SimMetrics NetworkSim::run() {
     }
   }
   pool_ = nullptr;
+  metrics_.in_flight_at_end = in_flight_;
 
   // Deterministic reduction: fold shard partials in ascending shard order.
   for (const Shard& sh : shards_) metrics_.absorb(sh.metrics);

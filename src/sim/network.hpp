@@ -18,9 +18,24 @@
 // verified usable at traversal time, and a packet whose precomputed next
 // link just died re-plans from its current node via Router::next_hop
 // (counted in SimMetrics::reroutes; packets with no usable continuation
-// are dropped_en_route, packets queued at a dying node are
-// orphaned_by_node_fault). With an empty schedule dynamic mode is
-// bit-for-bit identical to static mode.
+// are dropped_no_route, packets over the livelock guard are
+// dropped_hop_limit, packets queued at a dying node are
+// orphaned_by_node_fault). Schedules may also contain *repair* events —
+// transient faults that heal — which invalidate the routers' plan caches
+// and the fault overlay exactly like failures do. With an empty schedule
+// dynamic mode is bit-for-bit identical to static mode.
+//
+// Transient-fault recovery (off by default; SimConfig::retry_limit /
+// retry_budget). Instead of hard-dropping a packet with no usable
+// continuation, the simulator parks it in a bounded per-node retry queue
+// and re-offers it after a deterministic exponential backoff
+// (retry_backoff_base << attempt cycles); a packet that exhausts its
+// attempts may consume one of retry_budget end-to-end retransmits — it is
+// relaunched from its source after retransmit_timeout cycles — and only
+// then counts as gave_up. Parking, waking, and retransmission all happen
+// at the serial points in canonical node order, so the determinism
+// contract below is unaffected. With both knobs at 0 the legacy
+// hard-drop behavior is reproduced bit for bit.
 //
 // Execution model: node-sharded parallelism with a determinism contract.
 // Nodes are partitioned into S contiguous shards, one per worker of a
@@ -85,6 +100,7 @@
 
 #include <exception>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -121,6 +137,23 @@ struct SimConfig {
   /// that has taken this many hops is dropped (stepwise re-plans are not
   /// guaranteed monotone under faults). 0 = auto (16 * dims + 64).
   std::uint32_t reroute_hop_limit = 0;
+  /// Transient-fault recovery: how many times a stranded packet (no usable
+  /// continuation at its current node) is parked for a backoff retry
+  /// before it must retransmit or give up. Retry k waits
+  /// retry_backoff_base << k cycles. 0 = legacy hard drop (bit-for-bit).
+  /// Capped at 32 so the backoff shift stays in range.
+  std::uint32_t retry_limit = 0;
+  /// First retry delay in cycles (doubling per attempt). Must be >= 1.
+  Cycle retry_backoff_base = 2;
+  /// Per-node bound on concurrently parked retries; a stranding that finds
+  /// its node's park full falls through to retransmit/give-up.
+  std::uint32_t park_capacity = 8;
+  /// End-to-end recovery: how many times a packet that exhausted its
+  /// retries (or its park) is relaunched from its source with a fresh
+  /// route. 0 = no retransmits.
+  std::uint32_t retry_budget = 0;
+  /// Cycles between a retransmit decision and the relaunch at the source.
+  Cycle retransmit_timeout = 64;
   /// Worker threads for the sharded cycle loop. 0 = auto: the calling
   /// thread plus whatever the process-wide ThreadBudget grants, so nested
   /// sweeps never oversubscribe. N >= 1 = exactly N workers; counts above
@@ -204,6 +237,15 @@ class NetworkSim {
     std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                         std::greater<>>
         far_fires;
+    /// Active-set mode: byte (u - begin) set iff node u has a pending
+    /// injection fire in the wheel or far heap. Lets a repair event re-arm
+    /// a node whose fire was consumed while it was ineligible without ever
+    /// double-scheduling one.
+    std::vector<std::uint8_t> armed;
+    /// Recovery mode: packets that found no usable continuation this
+    /// cycle, in service order (= ascending node order). Drained at the
+    /// serial commit into the park / retransmit / give-up decision.
+    Ring<Arrival> stranded;
     std::uint64_t injected = 0;  // this cycle
     std::uint64_t removed = 0;   // delivered + dropped this cycle
     bool moved = false;          // any service progress this cycle
@@ -234,8 +276,21 @@ class NetworkSim {
 
   /// Applies every schedule event due at `now` (serial point), orphans
   /// packets queued at — or in a mailbox toward — nodes that just died,
-  /// and refreshes the fault overlay.
+  /// re-arms injection at repaired nodes, and refreshes the fault overlay.
   void apply_fault_events(Cycle now, bool measuring);
+  /// Serial point: re-offers every parked packet whose wake time is due —
+  /// retries resume at their strand node, retransmits relaunch from the
+  /// source — in deterministic (wake cycle, park order) order. Runs after
+  /// apply_fault_events so same-cycle repairs are visible to the retry.
+  void wake_parked(Cycle now, bool measuring);
+  /// Serial point: drains the shards' stranded rings (ascending shard =
+  /// ascending node order) into parked retries, retransmits, or give-ups.
+  /// Adds packets permanently removed here to `gave_up_removed`.
+  void commit_stranded(Cycle now, bool measuring,
+                       std::uint64_t& gave_up_removed);
+  /// Active-set mode: files a fresh injection fire for a just-repaired
+  /// node whose previous fire was consumed while it was faulty.
+  void rearm_injection(NodeId u, Cycle now);
   /// Phase A: drain arrival mailboxes, inject, publish occupancy.
   void phase_inject(unsigned w, Cycle now, bool measuring);
   /// Phase B: serve queues, forward/deliver/drop, fill mailboxes.
@@ -292,6 +347,18 @@ class NetworkSim {
   std::vector<std::uint32_t> occ_;  // phase-A occupancy snapshot
   SimMetrics metrics_;  // serial/global fields; shard partials absorbed in
   std::uint64_t in_flight_ = 0;
+  // Transient-fault recovery state (all serial-point only). The multimap
+  // preserves insertion order among equal wake cycles, so processing is
+  // deterministic; parked packets stay counted in in_flight_.
+  bool retries_ = false;  // retry_limit > 0 || retry_budget > 0
+  struct Parked {
+    NodeId node = 0;     // where the packet resumes (strand node or src)
+    PacketRef ref = 0;
+    bool respawn = false;  // end-to-end retransmit: reset route state
+  };
+  std::multimap<Cycle, Parked> parked_;
+  std::vector<std::uint16_t> parked_count_;  // per-node local-park depth
+  std::uint64_t parked_now_ = 0;  // all parked entries (stall exemption)
   ShardPool* pool_ = nullptr;        // valid while run() is on the stack
   Cycle cycle_now_ = 0;              // job parameters (stable per dispatch)
   bool cycle_measuring_ = false;

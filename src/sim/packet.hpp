@@ -84,6 +84,12 @@ struct Packet {
   /// Cursor into an adopted plan (`plan`, entered mid-flight at a patched
   /// node); adopted hops are NOT part of plan_len — they land in `tail`.
   std::uint32_t steer_next = 0;
+  /// Transient-fault recovery state (SimConfig::retry_limit /
+  /// retry_budget). How many times this packet has been parked in a retry
+  /// queue since its last (re)launch, and how many end-to-end source
+  /// retransmits it has consumed.
+  std::uint16_t retry_attempts = 0;
+  std::uint16_t retransmits_used = 0;
   HopTail tail;
 
   [[nodiscard]] bool at_destination() const noexcept {

@@ -72,6 +72,8 @@ class PacketPool {
     p.adaptive = false;
     p.steered = false;
     p.steer_next = 0;
+    p.retry_attempts = 0;
+    p.retransmits_used = 0;
     p.tail.clear();
     free_.push_back(i);
   }

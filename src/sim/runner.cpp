@@ -43,20 +43,42 @@ GcSimOutcome run_gc_simulation(const GcSimSpec& spec) {
   if (spec.faulty_nodes > 0) {
     faults = draw_fault_pattern(gc, spec.faulty_nodes, spec.fault_seed);
   }
-  // Assemble the dynamic schedule: explicit events plus random arrivals.
+  // Assemble the dynamic schedule: explicit events, random arrivals
+  // (optionally transient), and flapping links.
   FaultSchedule schedule = spec.schedule;
+  const Cycle horizon = spec.sim.warmup_cycles + spec.sim.measure_cycles;
   if (spec.fault_rate > 0.0) {
     const std::size_t cap = spec.max_dynamic_faults != 0
                                 ? spec.max_dynamic_faults
                                 : static_cast<std::size_t>(
                                       gc.node_count() / 8);
-    const Cycle horizon =
-        spec.sim.warmup_cycles + spec.sim.measure_cycles;
     const FaultSchedule random = FaultSchedule::random_node_faults(
         gc.node_count(), spec.fault_rate, horizon,
         spec.fault_seed ^ 0x9e3779b97f4a7c15ULL, cap);
     for (const FaultEvent& e : random.events()) {
       schedule.fail_node_at(e.cycle, e.node);
+      if (spec.fault_repair_after > 0) {
+        schedule.repair_node_at(e.cycle + spec.fault_repair_after, e.node);
+      }
+    }
+  }
+  if (spec.flapping_links > 0) {
+    std::vector<LinkId> candidates;
+    for (NodeId u = 0; u < gc.node_count(); ++u) {
+      for (Dim c = 0; c < gc.dims(); ++c) {
+        // Each undirected link once, via its lower endpoint.
+        if (gc.has_link(u, c) && bit(u, c) == 0) candidates.push_back({u, c});
+      }
+    }
+    const FaultSchedule flaps = FaultSchedule::random_flapping_links(
+        candidates, spec.flapping_links, spec.mttf, spec.mttr, horizon,
+        spec.fault_seed ^ 0xc2b2ae3d27d4eb4fULL);
+    for (const FaultEvent& e : flaps.events()) {
+      if (e.kind == FaultEvent::Kind::kLink) {
+        schedule.fail_link_at(e.cycle, e.node, e.dim);
+      } else {
+        schedule.repair_link_at(e.cycle, e.node, e.dim);
+      }
     }
   }
   const bool dynamic = !schedule.empty();

@@ -47,7 +47,13 @@ void expect_identical(const SimMetrics& got, const SimMetrics& want,
   EXPECT_EQ(got.deadlocked, want.deadlocked) << label;
   EXPECT_EQ(got.fault_events, want.fault_events) << label;
   EXPECT_EQ(got.reroutes, want.reroutes) << label;
-  EXPECT_EQ(got.dropped_en_route, want.dropped_en_route) << label;
+  EXPECT_EQ(got.dropped_no_route, want.dropped_no_route) << label;
+  EXPECT_EQ(got.dropped_hop_limit, want.dropped_hop_limit) << label;
+  EXPECT_EQ(got.repairs_applied, want.repairs_applied) << label;
+  EXPECT_EQ(got.parked_retries, want.parked_retries) << label;
+  EXPECT_EQ(got.retransmits, want.retransmits) << label;
+  EXPECT_EQ(got.gave_up, want.gave_up) << label;
+  EXPECT_EQ(got.in_flight_at_end, want.in_flight_at_end) << label;
   EXPECT_EQ(got.orphaned_by_node_fault, want.orphaned_by_node_fault)
       << label;
   for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {

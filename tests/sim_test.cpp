@@ -303,7 +303,7 @@ TEST(DynamicFaults, EmptyScheduleReproducesStaticModeBitForBit) {
   expect_same_metrics(baseline, dynamic);
   EXPECT_EQ(dynamic.fault_events, 0u);
   EXPECT_EQ(dynamic.reroutes, 0u);
-  EXPECT_EQ(dynamic.dropped_en_route, 0u);
+  EXPECT_EQ(dynamic.dropped_en_route(), 0u);
   EXPECT_EQ(dynamic.orphaned_by_node_fault, 0u);
 }
 
@@ -374,7 +374,7 @@ TEST(DynamicFaults, FtgcrDegradesMoreGracefullyThanEcube) {
   ASSERT_EQ(ft.fault_events_scheduled, ec.fault_events_scheduled);
   EXPECT_GT(ft.metrics.fault_events, 0u);
   EXPECT_GT(ft.metrics.delivery_ratio(), ec.metrics.delivery_ratio());
-  EXPECT_LT(ft.metrics.dropped_en_route, ec.metrics.dropped_en_route);
+  EXPECT_LT(ft.metrics.dropped_en_route(), ec.metrics.dropped_en_route());
 }
 
 TEST(DynamicFaults, RejectsOutOfRangeEvents) {
