@@ -42,11 +42,12 @@ using namespace gcube;
 
 // Pre-PR measurement of the headline cell (GC(10, 4), FTGCR, 12 static
 // faults, rate 0.05, 300 + 4000 cycles, seed 4242), best of 3 on the
-// reference container: packets/sec delivered by the node-sharded (PR 3)
-// NetworkSim::run() at threads=1. The current threads=1 cell — now served
-// by the next-hop fabric + active-set loop — is judged against this.
-// Re-measure with `git checkout <PR 3>` if the hardware changes.
-constexpr double kBaselineHeadlinePacketsPerSec = 865743.0;
+// reference container: packets/sec delivered at threads=1 by the
+// three-rendezvous-per-cycle loop (PR 5 state, fabric + active-set on).
+// The current threads=1 cell — fused single-dispatch loop, one barrier
+// per cycle — is judged against this. Re-measure with
+// `git checkout <PR 5>` if the hardware changes.
+constexpr double kBaselineHeadlinePacketsPerSec = 1156463.0;
 
 struct CellSpec {
   std::string name;
@@ -162,7 +163,7 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
       << "  \"schema_version\": 2,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"baseline\": {\n"
-      << "    \"label\": \"pre-PR (PR 3, sharded core)\",\n"
+      << "    \"label\": \"pre-PR (PR 5, three-rendezvous cycle loop)\",\n"
       << "    \"headline_cell\": \"gc10x4_ftgcr_static\",\n"
       << "    \"packets_per_sec\": " << kBaselineHeadlinePacketsPerSec
       << "\n  },\n"
@@ -200,7 +201,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     if (!c.spec.scaling_base.empty()) {
       const double base = cell_packets_per_sec(cells, c.spec.scaling_base);
       if (base > 0.0) {
-        out << ",\n      \"speedup_vs_threads1\": "
+        out << ",\n      \"scaling_base\": \"" << c.spec.scaling_base
+            << "\",\n      \"speedup_vs_threads1\": "
             << c.packets_per_sec() / base;
       }
     }

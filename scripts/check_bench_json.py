@@ -7,10 +7,12 @@ gated is that the benchmark produced a well-formed report. The file's
 "bench" field selects the checker:
 
   perf_simcore   the headline cell exists and carries its speedup field,
-                 scaling and legacy-twin cells carry theirs, and per-cell
+                 scaling and legacy-twin cells carry theirs, per-cell
                  counters are internally consistent (delivered can never
                  exceed offered load, throughput must match
-                 delivered / seconds);
+                 delivered / seconds), and every scaling cell's packet
+                 counters are bit-identical to its threads=1 base cell —
+                 the determinism contract, visible in the report itself;
   abl_recovery   all four recovery cells are present with closed packet
                  accounting, the transient-with-retries cell recovered to
                  a delivery ratio >= 0.99, and the same churn made
@@ -18,10 +20,16 @@ gated is that the benchmark produced a well-formed report. The file's
 
 A malformed or truncated JSON fails the build.
 
-Usage: check_bench_json.py BENCH_simcore.json
+--min-scaling X additionally requires every speedup_vs_threads1 to be
+>= X. CI passes it only on runners with enough cores for the worker
+counts being gated; on smaller machines the scaling cells are
+oversubscribed by design and only their shape is checked.
+
+Usage: check_bench_json.py [--min-scaling X] BENCH_simcore.json
        check_bench_json.py BENCH_recovery.json
 """
 
+import argparse
 import json
 import sys
 
@@ -75,7 +83,7 @@ def check_cell(cell):
              f"delivered/seconds = {expect_pps:.0f}")
 
 
-def check_perf_simcore(report):
+def check_perf_simcore(report, min_scaling=None):
     if report.get("schema_version", 0) < 2:
         fail(f"schema_version {report.get('schema_version')!r} < 2")
 
@@ -114,10 +122,33 @@ def check_perf_simcore(report):
         if cell["threads"] > 1 and "speedup_vs_threads1" not in cell:
             fail(f"cell {name}: threads={cell['threads']} but no "
                  "speedup_vs_threads1")
+        base_name = cell.get("scaling_base")
+        if base_name is not None:
+            base = by_name.get(base_name)
+            if base is None:
+                fail(f"cell {name}: scaling_base {base_name!r} not in report")
+            # The simulator guarantees bit-identical metrics for any worker
+            # count; a scaling cell whose counters drift from its threads=1
+            # base is a determinism break, not a perf result.
+            for counter in ("generated", "delivered", "total_hops"):
+                if cell[counter] != base[counter]:
+                    fail(f"cell {name}: {counter} {cell[counter]} differs "
+                         f"from base {base_name} ({base[counter]}) — "
+                         "thread-count determinism violated")
+            if min_scaling is not None and \
+                    cell["speedup_vs_threads1"] < min_scaling:
+                fail(f"cell {name}: speedup_vs_threads1 "
+                     f"{cell['speedup_vs_threads1']:.2f} below required "
+                     f"{min_scaling:.2f} — threads={cell['threads']} must "
+                     "beat threads=1 on this machine")
 
+    scaled = [c for c in cells if "speedup_vs_threads1" in c]
+    curve = ", ".join(f"t{c['threads']}={c['speedup_vs_threads1']:.2f}x"
+                      for c in scaled)
     print(f"check_bench_json: OK: {len(cells)} cells, headline "
           f"{headline_name} speedup_vs_baseline="
-          f"{headline['speedup_vs_baseline']:.2f}")
+          f"{headline['speedup_vs_baseline']:.2f}"
+          + (f", scaling {curve}" if curve else ""))
 
 
 def check_recovery_cell(cell):
@@ -170,18 +201,26 @@ def check_abl_recovery(report):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH_<name>.json")
+    parser = argparse.ArgumentParser(
+        description="schema/sanity check for BENCH_*.json reports")
+    parser.add_argument("report", help="BENCH_<name>.json to check")
+    parser.add_argument(
+        "--min-scaling", type=float, default=None, metavar="X",
+        help="require every speedup_vs_threads1 >= X (perf_simcore only; "
+        "pass on runners with enough cores for the gated worker counts)")
+    args = parser.parse_args()
     try:
-        with open(sys.argv[1], encoding="utf-8") as fh:
+        with open(args.report, encoding="utf-8") as fh:
             report = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        fail(f"cannot read {sys.argv[1]}: {err}")
+        fail(f"cannot read {args.report}: {err}")
 
     bench = report.get("bench")
     if bench == "perf_simcore":
-        check_perf_simcore(report)
+        check_perf_simcore(report, min_scaling=args.min_scaling)
     elif bench == "abl_recovery":
+        if args.min_scaling is not None:
+            fail("--min-scaling only applies to perf_simcore reports")
         check_abl_recovery(report)
     else:
         fail(f"unexpected bench id {bench!r}")

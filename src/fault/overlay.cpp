@@ -17,6 +17,8 @@ void FaultOverlay::attach(const Topology& topo) {
     full_[u] = mask;
   }
   usable_ = full_;
+  clean_.reset(nodes);
+  for (NodeId u = 0; u < nodes; ++u) clean_.set(u);
   nodes_seen_ = 0;
   links_seen_ = 0;
   version_seen_ = ~std::uint64_t{0};
@@ -28,10 +30,13 @@ void FaultOverlay::apply_node(NodeId v) {
   // A faulty node kills all of its incident links, in both directions.
   std::uint32_t links = full_[v];
   usable_[v] = 0;
+  clean_.assign(v, full_[v] == 0);
   while (links != 0) {
     const Dim c = lsb_index(links);
     links &= links - 1;
-    usable_[flip_bit(v, c)] &= ~(std::uint32_t{1} << c);
+    const NodeId w = flip_bit(v, c);
+    usable_[w] &= ~(std::uint32_t{1} << c);
+    reclean(w);
   }
 }
 
@@ -40,10 +45,13 @@ void FaultOverlay::apply_link(LinkId l) {
   const std::uint32_t bit = std::uint32_t{1} << l.dim;
   usable_[l.lo] &= ~bit;
   usable_[l.hi()] &= ~bit;
+  reclean(l.lo);
+  reclean(l.hi());
 }
 
 void FaultOverlay::rebuild(const FaultSet& faults) {
   usable_ = full_;
+  for (NodeId u = 0; u < usable_.size(); ++u) clean_.set(u);
   nodes_seen_ = 0;
   links_seen_ = 0;
   for (const NodeId v : faults.faulty_nodes()) apply_node(v);

@@ -21,6 +21,7 @@
 
 #include "fault/fault_set.hpp"
 #include "topology/topology.hpp"
+#include "util/bitmap.hpp"
 
 namespace gcube {
 
@@ -49,19 +50,30 @@ class FaultOverlay {
     return (usable_[u] >> c) & 1u;
   }
   /// True iff no fault touches u or any neighbor of u: all its links are
-  /// usable, so fault-oblivious next hops from u are safe.
+  /// usable, so fault-oblivious next hops from u are safe. Served from a
+  /// dense bitmap — one load + shift on the steering hot path, instead of
+  /// two mask loads and a compare.
   [[nodiscard]] bool node_clean(NodeId u) const noexcept {
-    return usable_[u] == full_[u];
+    return clean_.test(u);
+  }
+  /// 64 nodes' clean bits at once (bit i = node 64 * w + i), for
+  /// word-parallel scans over node ranges.
+  [[nodiscard]] std::uint64_t clean_word(std::size_t w) const noexcept {
+    return clean_.word(w);
   }
 
  private:
   void apply_node(NodeId v);
   void apply_link(LinkId l);
   void rebuild(const FaultSet& faults);
+  void reclean(NodeId u) noexcept {
+    clean_.assign(u, usable_[u] == full_[u]);
+  }
 
   const Topology* topo_ = nullptr;
   std::vector<std::uint32_t> full_;
   std::vector<std::uint32_t> usable_;
+  NodeBitmap clean_;  // bit u == (usable_[u] == full_[u]), kept in lockstep
   // Cursors into FaultSet::faulty_nodes() / faulty_links(); entries before
   // them are already reflected in usable_.
   std::size_t nodes_seen_ = 0;

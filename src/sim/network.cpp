@@ -103,7 +103,8 @@ void NetworkSim::configure_shards(unsigned shard_count) {
     Shard& sh = shards_[s];
     sh.begin = begin;
     sh.end = begin + range_base_ + (s < range_rem_ ? 1 : 0);
-    sh.outbox.resize(count);
+    for (auto& parity : sh.outbox) parity.resize(count);
+    for (auto& parity : sh.released) parity.resize(count);
     if (active_set_) {
       sh.active.reset(sh.end - sh.begin);
       sh.wheel.assign(kWheelSize, {});
@@ -133,14 +134,15 @@ unsigned NetworkSim::shard_of(NodeId u) const noexcept {
       range_rem_ + (u - split) / (range_base_ == 0 ? 1 : range_base_));
 }
 
-void NetworkSim::release_ref(unsigned w, PacketRef ref) {
+void NetworkSim::release_ref(unsigned w, PacketRef ref, unsigned parity) {
   const unsigned home = packet_ref_shard(ref);
   if (home == w) {
     shards_[home].pool.release(packet_ref_slot(ref));
   } else {
-    // Foreign pools may not be touched from phase B (their owners release
-    // into them concurrently); park the slot for the serial commit.
-    shards_[w].released.push_back(ref);
+    // Foreign pools may not be touched from phase B (their owners grow and
+    // release into them concurrently); route the slot home through the
+    // current-parity release ring, drained by the owner's next phase A.
+    shards_[w].released[parity][home].push_back(ref);
   }
 }
 
@@ -154,18 +156,23 @@ std::size_t NetworkSim::discard_packets_at(NodeId u) {
     ++lost;
   }
   // Packets already forwarded to u but still parked in a mailbox are lost
-  // with it too; rotate each ring once, keeping survivors in order.
+  // with it too; rotate each ring once, keeping survivors in order. At
+  // this serial point only one parity holds undrained arrivals, but
+  // scanning both costs nothing (the other is empty).
   const unsigned dst_shard = shard_of(u);
   for (Shard& src : shards_) {
-    Ring<Arrival>& box = src.outbox[dst_shard];
-    for (std::size_t i = box.size(); i > 0; --i) {
-      const Arrival a = box.front();
-      box.pop_front();
-      if (a.node == u) {
-        shards_[packet_ref_shard(a.ref)].pool.release(packet_ref_slot(a.ref));
-        ++lost;
-      } else {
-        box.push_back(a);
+    for (auto& parity : src.outbox) {
+      Ring<Arrival>& box = parity[dst_shard];
+      for (std::size_t i = box.size(); i > 0; --i) {
+        const Arrival a = box.front();
+        box.pop_front();
+        if (a.node == u) {
+          shards_[packet_ref_shard(a.ref)].pool.release(
+              packet_ref_slot(a.ref));
+          ++lost;
+        } else {
+          box.push_back(a);
+        }
       }
     }
   }
@@ -398,18 +405,29 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
   sh.injected = 0;
   sh.removed = 0;
   sh.moved = false;
-  // Drain last cycle's arrivals in ascending source-shard order; shards
-  // are contiguous and ascending, so this equals ascending source-node
-  // order — the canonical queue order, independent of shard count.
+  // Batch-drain the opposite-parity rings: slots other shards released
+  // from this pool, then last cycle's arrivals in ascending source-shard
+  // order; shards are contiguous and ascending, so that equals ascending
+  // source-node order — the canonical queue order, independent of shard
+  // count. Indexed batch + clear instead of per-packet pop_front: one
+  // bounds check and head/count update per ring, not per handoff.
+  const unsigned prev = static_cast<unsigned>(~now & 1);
   const auto shard_count = static_cast<unsigned>(shards_.size());
   for (unsigned s = 0; s < shard_count; ++s) {
-    Ring<Arrival>& box = shards_[s].outbox[w];
-    while (!box.empty()) {
-      const Arrival a = box.front();
-      box.pop_front();
+    Ring<PacketRef>& rel = shards_[s].released[prev][w];
+    const std::size_t freed = rel.size();
+    for (std::size_t i = 0; i < freed; ++i) {
+      sh.pool.release(packet_ref_slot(rel.at(i)));
+    }
+    rel.clear();
+    Ring<Arrival>& box = shards_[s].outbox[prev][w];
+    const std::size_t arrivals = box.size();
+    for (std::size_t i = 0; i < arrivals; ++i) {
+      const Arrival a = box.at(i);
       queues_[a.node].push_back(a.ref);
       if (active_set_) sh.active.set(a.node - sh.begin);
     }
+    box.clear();
   }
   if (active_set_) {
     // Event-driven injection: only nodes whose fire time is due do any
@@ -471,6 +489,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
   Shard& sh = shards_[w];
   SimMetrics& m = sh.metrics;
   const Dim n = dims_;
+  const unsigned parity = static_cast<unsigned>(now & 1);
   Ring<PacketRef>& queue = queues_[u];
   for (std::uint32_t served = 0;
        served < config_.service_rate && !queue.empty(); ++served) {
@@ -506,7 +525,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
       }
       ++sh.removed;
       queue.pop_front();
-      release_ref(w, ref);
+      release_ref(w, ref, parity);
       moved = true;
       continue;
     }
@@ -516,7 +535,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
       if (measuring) ++m.dropped_hop_limit;
       ++sh.removed;
       queue.pop_front();
-      release_ref(w, ref);
+      release_ref(w, ref, parity);
       moved = true;
     };
     // A packet with no usable continuation is dropped outright in legacy
@@ -529,7 +548,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
       } else {
         if (measuring) ++m.dropped_no_route;
         ++sh.removed;
-        release_ref(w, ref);
+        release_ref(w, ref, parity);
       }
       queue.pop_front();
       moved = true;
@@ -629,7 +648,7 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
       }
     }
     ++p.next_hop;
-    sh.outbox[shard_of(v)].push_back({v, ref});
+    sh.outbox[parity][shard_of(v)].push_back({v, ref});
     queue.pop_front();
     moved = true;
   }
@@ -717,57 +736,97 @@ SimMetrics NetworkSim::run() {
   ShardPool pool(static_cast<unsigned>(shards_.size()));
   pool_ = &pool;
 
-  // One job per cycle: inject phase, barrier, forward phase. Phases catch
+  // Fused cycle loop, dispatched ONCE: every worker runs the whole
+  // warmup + measurement loop and meets the others only at barriers.
+  // Phase A overlaps freely with other shards' phase B (parity
+  // double-buffered rings, pointer-stable pools), so the common
+  // unbounded-buffer cycle costs exactly one rendezvous — the end-of-cycle
+  // barrier whose last arriver runs serial_commit. Finite buffers add the
+  // mid-cycle barrier that makes the phase-A occupancy snapshot
+  // consistent before any shard reads it for backpressure. Phases catch
   // into the shard's error slot so every worker always reaches the
-  // barrier; failures are rethrown serially, in shard order.
+  // barriers; the serial section turns the first error into a stop, and
+  // it is rethrown after the join.
+  ab_barrier_ = config_.buffer_limit != 0;
+  stop_run_ = false;
+  serial_error_ = nullptr;
+  consecutive_stalls_ = 0;
+  cache_base_ = RouterCacheStats{};
+  cache_base_set_ = false;
+  cycle_prework(0);  // cycle 0's fault events / wakes, serially pre-dispatch
   const std::function<void(unsigned)> job = [this](unsigned w) {
     Shard& sh = shards_[w];
-    try {
-      phase_inject(w, cycle_now_, cycle_measuring_);
-    } catch (...) {
-      sh.error = std::current_exception();
-    }
-    pool_->barrier();
-    if (sh.error == nullptr) {
+    for (Cycle now = 0;; ++now) {
+      const bool measuring = now >= config_.warmup_cycles;
       try {
-        phase_forward(w, cycle_now_, cycle_measuring_);
+        phase_inject(w, now, measuring);
       } catch (...) {
         sh.error = std::current_exception();
       }
+      if (ab_barrier_) pool_->barrier();
+      if (sh.error == nullptr) {
+        try {
+          phase_forward(w, now, measuring);
+        } catch (...) {
+          sh.error = std::current_exception();
+        }
+      }
+      pool_->barrier_serial([this, now] { serial_commit(now); });
+      // stop_run_ was written under the barrier, so every worker reads
+      // the same verdict and the loop exits in lockstep.
+      if (stop_run_) break;
     }
   };
+  pool.run(job);
+  pool_ = nullptr;
+  if (serial_error_ != nullptr) {
+    const std::exception_ptr error = serial_error_;
+    serial_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  metrics_.in_flight_at_end = in_flight_;
 
-  RouterCacheStats cache_base{};
-  bool cache_base_set = false;
-  const Cycle total = config_.warmup_cycles + config_.measure_cycles;
-  // With finite buffers a sustained global stall (packets in flight, none
-  // moving) is a deadlock: declared after this many consecutive cycles.
-  constexpr Cycle kDeadlockThreshold = 200;
-  Cycle consecutive_stalls = 0;
-  for (Cycle now = 0; now < total; ++now) {
-    const bool measuring = now >= config_.warmup_cycles;
-    if (measuring && !cache_base_set) {
-      // Scope the reported cache counters to the measurement window.
-      cache_base = router_.cache_stats();
-      cache_base_set = true;
-    }
-    apply_fault_events(now, measuring);
-    // Wake after fault application so a repair landing this cycle is
-    // already visible to the retried packets.
-    if (retries_) wake_parked(now, measuring);
-    cycle_now_ = now;
-    cycle_measuring_ = measuring;
-    pool.run(job);
+  // Deterministic reduction: fold shard partials in ascending shard order.
+  for (const Shard& sh : shards_) metrics_.absorb(sh.metrics);
+  if (cache_base_set_) {
+    const RouterCacheStats delta = router_.cache_stats() - cache_base_;
+    metrics_.plan_cache = delta.plan;
+    metrics_.hop_cache = delta.hop;
+  }
+  return metrics_;
+}
+
+void NetworkSim::cycle_prework(Cycle now) {
+  const bool measuring = now >= config_.warmup_cycles;
+  if (measuring && !cache_base_set_) {
+    // Scope the reported cache counters to the measurement window.
+    cache_base_ = router_.cache_stats();
+    cache_base_set_ = true;
+  }
+  apply_fault_events(now, measuring);
+  // Wake after fault application so a repair landing this cycle is
+  // already visible to the retried packets.
+  if (retries_) wake_parked(now, measuring);
+}
+
+void NetworkSim::serial_commit(Cycle now) noexcept {
+  // Runs on whichever worker arrives last at the end-of-cycle barrier —
+  // alone, with every shard's phase writes visible, and with its own
+  // writes published to all workers when the gate opens. Everything here
+  // is a pure function of simulation state, so WHICH thread runs it
+  // cannot affect the outcome.
+  const bool measuring = now >= config_.warmup_cycles;
+  try {
     for (Shard& sh : shards_) {
       if (sh.error != nullptr) {
-        const std::exception_ptr error = sh.error;
-        for (Shard& other : shards_) other.error = nullptr;
-        pool_ = nullptr;
-        std::rethrow_exception(error);
+        if (serial_error_ == nullptr) serial_error_ = sh.error;
+        sh.error = nullptr;
       }
     }
-    // Serial commit: reclaim cross-shard packet slots, then the global
-    // accounting no shard can do alone.
+    if (serial_error_ != nullptr) {
+      stop_run_ = true;
+      return;
+    }
     std::uint64_t injected = 0;
     std::uint64_t removed = 0;
     bool moved = false;
@@ -775,15 +834,10 @@ SimMetrics NetworkSim::run() {
       injected += sh.injected;
       removed += sh.removed;
       moved = moved || sh.moved;
-      while (!sh.released.empty()) {
-        const PacketRef ref = sh.released.front();
-        sh.released.pop_front();
-        shards_[packet_ref_shard(ref)].pool.release(packet_ref_slot(ref));
-      }
     }
     // In-flight depth peaks after phase A (all injections in, no removals
     // yet); the same value the serial core saw at its last injection of
-    // the cycle, now gated on the measurement window.
+    // the cycle, gated on the measurement window.
     if (measuring) {
       metrics_.peak_in_flight =
           std::max(metrics_.peak_in_flight, in_flight_ + injected);
@@ -792,28 +846,29 @@ SimMetrics NetworkSim::run() {
     if (retries_) commit_stranded(now, measuring, gave_up_removed);
     in_flight_ = in_flight_ + injected - removed - gave_up_removed;
     // Packets parked for backoff are waiting on a timer, not on each
-    // other: only unparked in-flight packets can indicate a stall.
+    // other: only unparked in-flight packets can indicate a stall. A
+    // sustained global stall with finite buffers is a deadlock.
+    constexpr Cycle kDeadlockThreshold = 200;
     if (!moved && in_flight_ > parked_now_) {
       if (measuring) ++metrics_.stalled_cycles;
-      if (++consecutive_stalls >= kDeadlockThreshold) {
+      if (++consecutive_stalls_ >= kDeadlockThreshold) {
         metrics_.deadlocked = true;
-        break;
+        stop_run_ = true;
+        return;
       }
     } else {
-      consecutive_stalls = 0;
+      consecutive_stalls_ = 0;
     }
+    const Cycle next = now + 1;
+    if (next >= config_.warmup_cycles + config_.measure_cycles) {
+      stop_run_ = true;
+      return;
+    }
+    cycle_prework(next);
+  } catch (...) {
+    serial_error_ = std::current_exception();
+    stop_run_ = true;
   }
-  pool_ = nullptr;
-  metrics_.in_flight_at_end = in_flight_;
-
-  // Deterministic reduction: fold shard partials in ascending shard order.
-  for (const Shard& sh : shards_) metrics_.absorb(sh.metrics);
-  if (cache_base_set) {
-    const RouterCacheStats delta = router_.cache_stats() - cache_base;
-    metrics_.plan_cache = delta.plan;
-    metrics_.hop_cache = delta.hop;
-  }
-  return metrics_;
 }
 
 }  // namespace gcube

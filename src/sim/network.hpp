@@ -40,9 +40,13 @@
 // Execution model: node-sharded parallelism with a determinism contract.
 // Nodes are partitioned into S contiguous shards, one per worker of a
 // persistent ShardPool (S = SimConfig::threads, or a ThreadBudget grant
-// when 0). Each cycle runs in two phases under the pool's barrier:
+// when 0). The ENTIRE cycle loop is one dispatched pool job: every worker
+// runs the loop locally and meets the others only at the barriers inside
+// it, so a cycle costs rendezvous, not dispatch/join handshakes. Each
+// cycle has two phases per worker:
 //
-//   phase A (inject): each worker drains last cycle's arrival mailboxes
+//   phase A (inject): each worker reclaims packet slots other shards
+//     released from its pool, batch-drains last cycle's arrival mailboxes
 //     into its own queues (source-shard order, which equals global
 //     source-node order because shards are contiguous and ascending),
 //     injects new packets, and publishes its nodes' committed occupancy;
@@ -53,15 +57,24 @@
 //     destination shard through per-(source shard, destination shard)
 //     mailbox rings.
 //
-// Fault-schedule application, fault-overlay refresh, cross-shard
-// packet-slot reclamation, and global accounting (in-flight depth, stall
-// detection) happen serially between cycles. Every per-node decision
-// therefore depends only on start-of-cycle committed state, per-(node,
-// cycle) counter RNG draws (util/rng.hpp), and canonical queue order — so
-// for a fixed seed, the full SimMetrics (latency histogram included) are
-// bit-identical for ANY thread count, including 1. That contract is
-// enforced by the determinism test and lets the threads knob be a pure
-// wall-clock choice.
+// Mailbox and release rings are parity double-buffered (phase B of cycle
+// N fills buffer N & 1, phase A of cycle N drains buffer ~N & 1) and the
+// packet pools use chunked, pointer-stable storage, so one shard's phase
+// A can overlap another's phase B with no data race. With unbounded
+// buffers a cycle therefore needs exactly ONE rendezvous — the
+// end-of-cycle barrier, whose last arriver runs the serial commit
+// (ShardPool::barrier_serial) before opening the gate. Finite-buffer runs
+// add one mid-cycle barrier so backpressure reads a consistent phase-A
+// occupancy snapshot.
+//
+// Fault-schedule application, fault-overlay refresh, and global
+// accounting (in-flight depth, stall detection) happen in that fused
+// serial commit. Every per-node decision therefore depends only on
+// start-of-cycle committed state, per-(node, cycle) counter RNG draws
+// (util/rng.hpp), and canonical queue order — so for a fixed seed, the
+// full SimMetrics (latency histogram included) are bit-identical for ANY
+// thread count, including 1. That contract is enforced by the determinism
+// test and lets the threads knob be a pure wall-clock choice.
 //
 // Hot-path machinery (both on by default, SimConfig toggles):
 //
@@ -98,6 +111,7 @@
 // measurement window.
 #pragma once
 
+#include <array>
 #include <exception>
 #include <functional>
 #include <map>
@@ -216,10 +230,17 @@ class NetworkSim {
   struct alignas(64) Shard {
     NodeId begin = 0;  // nodes [begin, end) — contiguous, ascending
     NodeId end = 0;
-    PacketPool pool;         // grows only in phase A, owner only
+    PacketPool pool;         // grown/released by the owner thread only
     SimMetrics metrics;      // per-shard partial, absorbed after the run
-    std::vector<Ring<Arrival>> outbox;  // one ring per destination shard
-    Ring<PacketRef> released;  // foreign slots freed this cycle (phase B)
+    /// Cross-shard handoffs, one ring per destination shard, parity
+    /// double-buffered: phase B of cycle N fills [N & 1], phase A of
+    /// cycle N drains [~N & 1] — so one shard's phase A never touches the
+    /// ring another shard's phase B is filling.
+    std::array<std::vector<Ring<Arrival>>, 2> outbox;
+    /// Foreign packet slots freed in phase B, rings addressed by the
+    /// slot's home shard and drained by that shard's next phase A into
+    /// its own pool (same parity scheme as outbox).
+    std::array<std::vector<Ring<PacketRef>>, 2> released;
     /// Active-set mode: bit (u - begin) set iff node u may hold packets.
     /// Set on every queue push (mailbox drain, injection admit); cleared
     /// once the queue is empty — by phase B itself with unbounded buffers,
@@ -269,10 +290,10 @@ class NetworkSim {
   [[nodiscard]] Packet& packet(PacketRef ref) noexcept {
     return shards_[packet_ref_shard(ref)].pool[packet_ref_slot(ref)];
   }
-  /// Frees a packet slot from worker w's phase B: directly when w owns the
-  /// slot's pool, via the released ring (drained serially between cycles)
-  /// when it does not.
-  void release_ref(unsigned w, PacketRef ref);
+  /// Frees a packet slot from worker w's phase B of the cycle with parity
+  /// `parity`: directly when w owns the slot's pool, via the released
+  /// ring (drained by the home shard's next phase A) when it does not.
+  void release_ref(unsigned w, PacketRef ref, unsigned parity);
 
   /// Applies every schedule event due at `now` (serial point), orphans
   /// packets queued at — or in a mailbox toward — nodes that just died,
@@ -322,6 +343,18 @@ class NetworkSim {
   /// pre-run seeding, where `at` may equal cycle 0).
   void schedule_fire(Shard& sh, Cycle now, Cycle at, NodeId u);
 
+  /// The fused per-cycle serial section, run by the LAST worker arriving
+  /// at the end-of-cycle barrier (ShardPool::barrier_serial): collects
+  /// shard errors, folds per-cycle counters into the global accounting,
+  /// commits stranded packets, detects stalls/deadlock, and performs the
+  /// next cycle's pre-work (fault events, parked wakes) — or sets
+  /// stop_run_ when the run is over. Must not throw; failures land in
+  /// serial_error_.
+  void serial_commit(Cycle now) noexcept;
+  /// Pre-work for cycle `now`: measurement-window cache-stat scoping,
+  /// fault-schedule application, parked-retry wakes.
+  void cycle_prework(Cycle now);
+
   const Topology& topo_;
   const Router& router_;
   const FaultSet& faults_;
@@ -360,8 +393,14 @@ class NetworkSim {
   std::vector<std::uint16_t> parked_count_;  // per-node local-park depth
   std::uint64_t parked_now_ = 0;  // all parked entries (stall exemption)
   ShardPool* pool_ = nullptr;        // valid while run() is on the stack
-  Cycle cycle_now_ = 0;              // job parameters (stable per dispatch)
-  bool cycle_measuring_ = false;
+  // Fused-loop control, written only in the serial section (or before the
+  // dispatch) and read by workers after the barrier edge.
+  bool ab_barrier_ = false;   // phase A->B barrier needed (finite buffers)
+  bool stop_run_ = false;     // set when the loop must end after this cycle
+  std::exception_ptr serial_error_;  // first failure, rethrown after join
+  Cycle consecutive_stalls_ = 0;
+  RouterCacheStats cache_base_{};
+  bool cache_base_set_ = false;
   // Node-range split: the first range_rem_ shards own range_base_ + 1
   // nodes, the rest range_base_ (contiguous ascending).
   NodeId range_base_ = 0;

@@ -12,14 +12,24 @@
 // allocates from its own slab) and tags every reference with its owning
 // pool in the top bits, so a packet forwarded across a shard boundary can
 // still be dereferenced and, eventually, returned home. Concurrency is by
-// phase discipline, not locks: pools only grow during the injection phase
-// (owner thread only), foreign threads only *dereference* live slots during
-// the forwarding phase, and cross-shard releases travel through mailboxes
-// drained under the cycle barrier.
+// phase discipline, not locks: only the owner thread grows or releases
+// into its pool, foreign threads only *dereference* live slots, and
+// cross-shard releases travel through mailboxes drained under the cycle
+// barrier.
+//
+// Storage is CHUNKED with a fixed-capacity chunk directory, so growing
+// never moves an existing slot and never reallocates the directory. That
+// stability is load-bearing for the fused cycle loop: shard A may be
+// injecting (acquiring fresh slots in its pool) while shard B is still
+// forwarding and dereferencing A's live slots — legal only because a
+// foreign dereference touches memory that acquire() can never move. A
+// foreign thread only ever reads directory entries published before the
+// last cycle barrier, so the owner writing a NEW entry races with nothing.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/packet.hpp"
@@ -51,11 +61,23 @@ inline constexpr unsigned kMaxPoolShards = 1u << (32 - kPacketRefShardShift);
 
 class PacketPool {
  public:
+  /// Slots per chunk. 4096 Packets per slab amortizes the allocation; the
+  /// directory covering the whole 16M-slot reference space is then 4096
+  /// pointers — preallocated once, so it never reallocates under a
+  /// concurrent foreign dereference.
+  static constexpr unsigned kChunkBits = 12;
+  static constexpr PacketIndex kChunkSize = PacketIndex{1} << kChunkBits;
+
+  PacketPool() : chunks_((kPacketRefSlotMask + 1) >> kChunkBits) {}
+
   /// A cleared slot ready for initialization (recycled when possible).
+  /// Owner thread only.
   [[nodiscard]] PacketIndex acquire() {
     if (free_.empty()) {
-      slots_.emplace_back();
-      return static_cast<PacketIndex>(slots_.size() - 1);
+      if ((size_ & (kChunkSize - 1)) == 0) {
+        chunks_[size_ >> kChunkBits] = std::make_unique<Packet[]>(kChunkSize);
+      }
+      return size_++;
     }
     const PacketIndex i = free_.back();
     free_.pop_back();
@@ -63,9 +85,9 @@ class PacketPool {
   }
 
   /// Returns a slot to the free list. Resets routing state but keeps the
-  /// tail's spill capacity for the next tenant.
+  /// tail's spill capacity for the next tenant. Owner thread only.
   void release(PacketIndex i) {
-    Packet& p = slots_[i];
+    Packet& p = (*this)[i];
     p.plan.reset();
     p.next_hop = 0;
     p.plan_len = 0;
@@ -78,17 +100,20 @@ class PacketPool {
     free_.push_back(i);
   }
 
-  [[nodiscard]] Packet& operator[](PacketIndex i) { return slots_[i]; }
-  [[nodiscard]] const Packet& operator[](PacketIndex i) const {
-    return slots_[i];
+  [[nodiscard]] Packet& operator[](PacketIndex i) {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
   }
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] const Packet& operator[](PacketIndex i) const {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return size_; }
   [[nodiscard]] std::size_t live() const noexcept {
-    return slots_.size() - free_.size();
+    return size_ - free_.size();
   }
 
  private:
-  std::vector<Packet> slots_;
+  std::vector<std::unique_ptr<Packet[]>> chunks_;  // fixed-size directory
+  PacketIndex size_ = 0;  // slots ever handed out (chunks allocated lazily)
   std::vector<PacketIndex> free_;
 };
 
@@ -108,6 +133,13 @@ class Ring {
   [[nodiscard]] T front() const {
     assert(count_ > 0);
     return buf_[head_];
+  }
+  /// The i-th element from the front (i < size()). Lets a consumer drain a
+  /// whole ring as one indexed batch + clear() instead of size() many
+  /// front()/pop_front() pairs.
+  [[nodiscard]] T at(std::size_t i) const {
+    assert(i < count_);
+    return buf_[(head_ + i) & (buf_.size() - 1)];
   }
   void pop_front() {
     assert(count_ > 0);

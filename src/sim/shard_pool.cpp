@@ -4,20 +4,10 @@
 
 namespace gcube {
 
-namespace {
-
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield");
-#endif
-}
-
-}  // namespace
-
 ShardPool::ShardPool(unsigned threads) {
   GCUBE_REQUIRE(threads >= 1, "shard pool needs at least one worker");
+  const unsigned cores = std::thread::hardware_concurrency();
+  oversubscribed_ = cores != 0 && threads > cores;
   workers_.reserve(threads - 1);
   for (unsigned w = 1; w < threads; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -26,29 +16,16 @@ ShardPool::ShardPool(unsigned threads) {
 
 ShardPool::~ShardPool() {
   stop_.store(true, std::memory_order_relaxed);
-  // Wake parked workers: they spin on epoch_ and re-check stop_ when it
+  // Wake parked workers: they wait on epoch_ and re-check stop_ when it
   // moves. jthread joins on destruction.
   epoch_.fetch_add(1, std::memory_order_release);
-}
-
-void ShardPool::spin_wait(const std::atomic<std::uint64_t>& flag,
-                          std::uint64_t last_seen) noexcept {
-  int spins = 0;
-  while (flag.load(std::memory_order_acquire) == last_seen) {
-    if (++spins < 64) {
-      cpu_relax();
-    } else {
-      // Oversubscribed (or just idle): hand the core to whoever holds the
-      // work. Essential when workers > cores.
-      std::this_thread::yield();
-    }
-  }
+  epoch_.notify_all();
 }
 
 void ShardPool::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
   while (true) {
-    spin_wait(epoch_, seen);
+    wait_for(epoch_, seen);
     if (stop_.load(std::memory_order_relaxed)) return;
     seen = epoch_.load(std::memory_order_acquire);
     try {
@@ -57,6 +34,7 @@ void ShardPool::worker_loop(unsigned worker) {
       record_error();
     }
     done_.fetch_add(1, std::memory_order_release);
+    done_.notify_all();
   }
 }
 
@@ -72,19 +50,17 @@ void ShardPool::run(const std::function<void(unsigned)>& job) {
   job_ = &job;
   done_.store(0, std::memory_order_relaxed);
   epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
   try {
     job(0);
   } catch (...) {
     record_error();
   }
   const auto spawned = static_cast<unsigned>(workers_.size());
-  int spins = 0;
-  while (done_.load(std::memory_order_acquire) != spawned) {
-    if (++spins < 64) {
-      cpu_relax();
-    } else {
-      std::this_thread::yield();
-    }
+  unsigned finished = done_.load(std::memory_order_acquire);
+  while (finished != spawned) {
+    wait_for(done_, finished);
+    finished = done_.load(std::memory_order_acquire);
   }
   job_ = nullptr;
   if (has_error_.load(std::memory_order_acquire)) {
@@ -96,21 +72,6 @@ void ShardPool::run(const std::function<void(unsigned)>& job) {
       has_error_.store(false, std::memory_order_relaxed);
     }
     std::rethrow_exception(err);
-  }
-}
-
-void ShardPool::barrier() noexcept {
-  const std::uint64_t gen = bar_gen_.load(std::memory_order_acquire);
-  // The last arriver resets the count *before* opening the gate, so the
-  // next barrier's arrivals can't be lost; everyone else spins on the
-  // generation. A worker can only reach barrier N+1 after observing the
-  // generation bump of barrier N, so its captured `gen` is always current.
-  if (bar_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-      threads()) {
-    bar_arrived_.store(0, std::memory_order_relaxed);
-    bar_gen_.fetch_add(1, std::memory_order_release);
-  } else {
-    spin_wait(bar_gen_, gen);
   }
 }
 

@@ -25,8 +25,26 @@ class NodeBitmap {
   void clear(std::uint64_t i) noexcept {
     words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
+  void assign(std::uint64_t i, bool value) noexcept {
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= bit;
+    } else {
+      words_[i >> 6] &= ~bit;
+    }
+  }
   [[nodiscard]] bool test(std::uint64_t i) const noexcept {
     return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Word-granular access (64 indices per word, raikv CubeRoute style):
+  /// lets callers combine bitmaps with single AND/OR ops and scan masks 64
+  /// entries at a time instead of one test() per index.
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
+    return words_[w];
   }
 
   /// Calls f(i) for every set bit in ascending index order. Each word is

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/check_bench_json.py.
+
+The checker is itself a CI gate, so it gets the same treatment as the
+code it gates: craft well-formed and deliberately broken reports and
+assert the checker accepts or rejects each for the stated reason. Run
+directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent.parent / "scripts" / \
+    "check_bench_json.py"
+
+FAILURES = []
+
+
+def cell(name, threads=1, generated=1000, delivered=900, seconds=0.5,
+         **extra):
+    c = {
+        "name": name,
+        "topology": "GC(10, 4)",
+        "router": "FTGCR",
+        "static_faults": 12,
+        "injection_rate": 0.05,
+        "warmup_cycles": 300,
+        "measure_cycles": 4000,
+        "threads": threads,
+        "fabric": True,
+        "active_set": True,
+        "seconds": seconds,
+        "cycles_per_sec": 4300 / seconds,
+        "generated": generated,
+        "delivered": delivered,
+        "carryover_delivered": 10,
+        "total_hops": delivered * 8,
+        "packets_per_sec": delivered / seconds,
+        "hops_per_sec": delivered * 8 / seconds,
+    }
+    c.update(extra)
+    return c
+
+
+def good_report():
+    base = cell("gc10x4_ftgcr_static", headline=True,
+                baseline_packets_per_sec=1000.0,
+                speedup_vs_baseline=1.8)
+    t2 = cell("gc10x4_ftgcr_static_t2", threads=2, seconds=0.4,
+              scaling_base="gc10x4_ftgcr_static",
+              speedup_vs_threads1=0.5 / 0.4)
+    t4 = cell("gc10x4_ftgcr_static_t4", threads=4, seconds=0.3,
+              scaling_base="gc10x4_ftgcr_static",
+              speedup_vs_threads1=0.5 / 0.3)
+    return {
+        "bench": "perf_simcore",
+        "schema_version": 2,
+        "mode": "quick",
+        "baseline": {
+            "label": "self-test",
+            "headline_cell": "gc10x4_ftgcr_static",
+            "packets_per_sec": 1000.0,
+        },
+        "cells": [base, t2, t4],
+    }
+
+
+def run_checker(report, *flags):
+    """Returns (exit_code, stderr) of the checker on `report` (dict or
+    raw string)."""
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False) as fh:
+        if isinstance(report, str):
+            fh.write(report)
+        else:
+            json.dump(report, fh)
+        path = fh.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), *flags, path],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stderr
+    finally:
+        Path(path).unlink()
+
+
+def expect(label, report, *flags, ok=True, message=""):
+    code, stderr = run_checker(report, *flags)
+    if ok and code != 0:
+        FAILURES.append(f"{label}: expected PASS, got exit {code}: "
+                        f"{stderr.strip()}")
+    elif not ok and code == 0:
+        FAILURES.append(f"{label}: expected FAIL, checker passed it")
+    elif not ok and message and message not in stderr:
+        FAILURES.append(f"{label}: failed for the wrong reason — wanted "
+                        f"{message!r} in: {stderr.strip()}")
+    else:
+        print(f"  ok: {label}")
+
+
+def main():
+    expect("well-formed report passes", good_report())
+
+    r = good_report()
+    r["cells"][0]["delivered"] = r["cells"][0]["generated"] + 1
+    r["cells"][0]["packets_per_sec"] = \
+        r["cells"][0]["delivered"] / r["cells"][0]["seconds"]
+    expect("delivered > generated rejected", r, ok=False, message="exceeds")
+
+    r = good_report()
+    r["cells"][1]["delivered"] -= 5  # drift from the threads=1 base
+    r["cells"][1]["total_hops"] = r["cells"][1]["delivered"] * 8
+    r["cells"][1]["packets_per_sec"] = \
+        r["cells"][1]["delivered"] / r["cells"][1]["seconds"]
+    r["cells"][1]["hops_per_sec"] = \
+        r["cells"][1]["total_hops"] / r["cells"][1]["seconds"]
+    expect("scaling-cell counter drift rejected", r, ok=False,
+           message="determinism")
+
+    r = good_report()
+    del r["cells"][2]["speedup_vs_threads1"]
+    expect("scaling cell without curve point rejected", r, ok=False,
+           message="speedup_vs_threads1")
+
+    # --min-scaling: the good report's curve is t2=1.25x, t4=1.67x.
+    expect("curve above the floor passes the gate", good_report(),
+           "--min-scaling", "1.0")
+    r = good_report()
+    slow = copy.deepcopy(r["cells"][0])
+    slow["name"] = "gc10x4_ftgcr_static_t2"
+    slow["threads"] = 2
+    slow["seconds"] = 0.7  # slower than threads=1
+    slow["cycles_per_sec"] = 4300 / 0.7
+    slow["packets_per_sec"] = slow["delivered"] / 0.7
+    slow["hops_per_sec"] = slow["total_hops"] / 0.7
+    slow["scaling_base"] = "gc10x4_ftgcr_static"
+    slow["speedup_vs_threads1"] = 0.5 / 0.7
+    del slow["headline"]
+    del slow["baseline_packets_per_sec"]
+    del slow["speedup_vs_baseline"]
+    r["cells"][1] = slow
+    expect("regressed curve point fails the gate", r,
+           "--min-scaling", "1.0", ok=False, message="below required")
+    expect("same report passes without the gate", r)
+
+    r = good_report()
+    r["cells"][0]["packets_per_sec"] *= 2  # not delivered / seconds
+    expect("throughput inconsistent with counters rejected", r, ok=False,
+           message="inconsistent")
+
+    expect("truncated JSON rejected", '{"bench": "perf_simcore", "ce',
+           ok=False, message="cannot read")
+
+    r = good_report()
+    r["schema_version"] = 1
+    expect("stale schema rejected", r, ok=False, message="schema_version")
+
+    if FAILURES:
+        print("check_bench_json_test: FAIL", file=sys.stderr)
+        for f in FAILURES:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("check_bench_json_test: all cases passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,10 @@
 // to hardware_concurrency), so this exercises real interleavings even on
 // small CI machines. The same binary runs under the ThreadSanitizer CI
 // job. Both execution modes are covered: the default next-hop-fabric +
-// active-set loop, and the legacy full-scan path.
+// active-set loop, and the legacy full-scan path. The whole matrix runs
+// on the fused cycle loop (one dispatch per run, barrier_serial commits,
+// parity-double-buffered rings, batched drains) — so every case is also
+// a regression test that fusing the phases changed nothing observable.
 //
 // Cache counters (SimMetrics::plan_cache / hop_cache) are deliberately NOT
 // compared: the hit/miss split depends on which worker reaches a cold key
@@ -161,6 +164,41 @@ TEST(Determinism, FiniteBuffersBackpressureIsThreadInvariant) {
   spec.sim.injection_rate = 0.20;
   spec.sim.buffer_limit = 3;
   expect_thread_invariant(spec, "GC(8,2) finite buffers");
+}
+
+TEST(Determinism, RecoveryRetriesAreThreadInvariant) {
+  // Transient faults that heal, with parking and retransmits on. In the
+  // fused cycle loop the fault/repair application and the park wake both
+  // run inside the barrier's serial section (cycle_prework), and stranded
+  // packets ride the per-shard parity rings — none of which may depend on
+  // how nodes are sharded.
+  GcSimSpec spec = base_spec(8, 2);
+  const GaussianCube gc(spec.n, spec.modulus);
+  const NodeId nodes = static_cast<NodeId>(gc.node_count());
+  FaultSchedule schedule;
+  schedule.fail_node_at(20, nodes / 4);
+  schedule.repair_node_at(70, nodes / 4);
+  schedule.fail_link_at(40, nodes / 2, 1);
+  schedule.repair_link_at(120, nodes / 2, 1);
+  schedule.fail_node_at(100, 3 * nodes / 4);
+  spec.schedule = schedule;
+  spec.sim.retry_limit = 4;
+  spec.sim.retry_backoff_base = 2;
+  spec.sim.retry_budget = 2;
+  expect_thread_invariant(spec, "GC(8,2) transient recovery");
+}
+
+TEST(Determinism, FiniteBuffersWithScheduledFaultsIsThreadInvariant) {
+  // The two extra synchronization points at once: finite buffers add the
+  // mid-cycle occupancy-snapshot barrier between phases A and B, and the
+  // schedule adds serial fault prework between cycles. Backpressure,
+  // blocked injections, and mid-run orphaning must all commute with the
+  // thread count.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.schedule = scheduled_faults(spec);
+  spec.sim.injection_rate = 0.20;
+  spec.sim.buffer_limit = 3;
+  expect_thread_invariant(spec, "GC(8,2) finite buffers + schedule");
 }
 
 TEST(Determinism, RepeatedRunsOfOneSimulatorAgree) {
