@@ -42,12 +42,12 @@ using namespace gcube;
 
 // Pre-PR measurement of the headline cell (GC(10, 4), FTGCR, 12 static
 // faults, rate 0.05, 300 + 4000 cycles, seed 4242), best of 3 on the
-// reference container: packets/sec delivered at threads=1 by the
-// three-rendezvous-per-cycle loop (PR 5 state, fabric + active-set on).
-// The current threads=1 cell — fused single-dispatch loop, one barrier
-// per cycle — is judged against this. Re-measure with
-// `git checkout <PR 5>` if the hardware changes.
-constexpr double kBaselineHeadlinePacketsPerSec = 1156463.0;
+// reference container: packets/sec delivered at threads=1 by the fused
+// single-dispatch loop with the ~100-byte AoS packet layout (PR 6 state,
+// fabric + active-set on). The current threads=1 cell — SoA hot/cold
+// packet lanes, batched word-at-a-time advance — is judged against this.
+// Re-measure with `git checkout <PR 6>` if the hardware changes.
+constexpr double kBaselineHeadlinePacketsPerSec = 1379890.0;
 
 struct CellSpec {
   std::string name;
@@ -70,6 +70,11 @@ struct CellResult {
   CellSpec spec;
   SimMetrics metrics;
   double seconds = 0.0;  // best-of-reps wall time of NetworkSim::run()
+  /// Per-phase attribution from ONE extra run with SimConfig::phase_timing
+  /// (steady_clock reads in the cycle loop), kept out of `seconds` so the
+  /// instrumentation never taxes the headline number. Nanoseconds summed
+  /// across workers.
+  SimMetrics timed;
   [[nodiscard]] double cycles_per_sec() const {
     return static_cast<double>(spec.warmup + spec.measure) / seconds;
   }
@@ -141,6 +146,12 @@ CellResult run_cell(const CellSpec& spec, int reps) {
     result.metrics = m;
   }
   result.seconds = best;
+  // One instrumented pass for the phase breakdown, after (and excluded
+  // from) the timed reps. Same workload and seed, so the metrics match the
+  // timed runs bit for bit; only the phase_*_ns fields differ from zero.
+  cfg.phase_timing = true;
+  NetworkSim timed_sim(gc, *router, faults, cfg);
+  result.timed = timed_sim.run();
   return result;
 }
 
@@ -160,10 +171,10 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   out.precision(6);
   out << "{\n"
       << "  \"bench\": \"perf_simcore\",\n"
-      << "  \"schema_version\": 2,\n"
+      << "  \"schema_version\": 3,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"baseline\": {\n"
-      << "    \"label\": \"pre-PR (PR 5, three-rendezvous cycle loop)\",\n"
+      << "    \"label\": \"pre-PR (PR 6, fused loop, AoS packets)\",\n"
       << "    \"headline_cell\": \"gc10x4_ftgcr_static\",\n"
       << "    \"packets_per_sec\": " << kBaselineHeadlinePacketsPerSec
       << "\n  },\n"
@@ -191,7 +202,13 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
         << ",\n"
         << "      \"total_hops\": " << c.metrics.total_hops << ",\n"
         << "      \"packets_per_sec\": " << c.packets_per_sec() << ",\n"
-        << "      \"hops_per_sec\": " << c.hops_per_sec();
+        << "      \"hops_per_sec\": " << c.hops_per_sec() << ",\n"
+        << "      \"phase_breakdown\": {\n"
+        << "        \"drain_ns\": " << c.timed.phase_drain_ns << ",\n"
+        << "        \"inject_ns\": " << c.timed.phase_inject_ns << ",\n"
+        << "        \"advance_ns\": " << c.timed.phase_advance_ns << ",\n"
+        << "        \"commit_ns\": " << c.timed.phase_commit_ns
+        << "\n      }";
     if (c.spec.headline) {
       out << ",\n      \"baseline_packets_per_sec\": "
           << kBaselineHeadlinePacketsPerSec
@@ -301,6 +318,19 @@ int main(int argc, char** argv) {
                                   kBaselineHeadlinePacketsPerSec,
                               2)
                 << "x)\n";
+      const double total = static_cast<double>(
+          c.timed.phase_drain_ns + c.timed.phase_inject_ns +
+          c.timed.phase_advance_ns + c.timed.phase_commit_ns);
+      if (total > 0.0) {
+        const auto pct = [&](std::uint64_t ns) {
+          return fmt_double(100.0 * static_cast<double>(ns) / total, 1);
+        };
+        std::cout << "phases " << c.spec.name << ": drain "
+                  << pct(c.timed.phase_drain_ns) << "% inject "
+                  << pct(c.timed.phase_inject_ns) << "% advance "
+                  << pct(c.timed.phase_advance_ns) << "% commit "
+                  << pct(c.timed.phase_commit_ns) << "%\n";
+      }
     }
     if (!c.spec.scaling_base.empty()) {
       const double base = cell_packets_per_sec(cells, c.spec.scaling_base);

@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
                 "fault-schedule", "fault-rate", "fault-repair", "flap-links",
                 "mttf", "mttr", "retry-limit", "retry-backoff",
                 "retry-budget", "retransmit-timeout", "threads",
-                "oversubscribe", "no-fabric", "no-active-set", "help"});
+                "oversubscribe", "no-fabric", "no-active-set", "no-batch",
+                "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
           << "               [--retry-backoff B] [--retry-budget R]\n"
           << "               [--retransmit-timeout T]\n"
           << "               [--threads T] [--oversubscribe]\n"
-          << "               [--no-fabric] [--no-active-set]\n"
+          << "               [--no-fabric] [--no-active-set] [--no-batch]\n"
           << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
           << "scheduled events mutate the network mid-run and packets\n"
           << "re-route per hop around faults discovered en route.\n"
@@ -97,7 +98,11 @@ int main(int argc, char** argv) {
           << "--no-fabric: disable table-driven next-hop steering (plan\n"
           << "each route at injection instead).\n"
           << "--no-active-set: disable the active-set cycle loop (scan\n"
-          << "every node each cycle, per-cycle Bernoulli injection).\n";
+          << "every node each cycle, per-cycle Bernoulli injection).\n"
+          << "--no-batch: disable the batched word-at-a-time advance and\n"
+          << "serve active nodes one at a time (metrics are bit-identical\n"
+          << "either way; escape hatch for A/B timing and debugging —\n"
+          << "GCUBE_SIM_NO_BATCH=1 does the same for any binary).\n";
       return 0;
     }
     GcSimSpec spec;
@@ -138,6 +143,7 @@ int main(int argc, char** argv) {
     spec.sim.allow_oversubscribe = args.get_bool("oversubscribe");
     spec.sim.fabric = !args.get_bool("no-fabric");
     spec.sim.active_set = !args.get_bool("no-active-set");
+    spec.sim.batch = !args.get_bool("no-batch");
 
     const GcSimOutcome outcome = run_gc_simulation(spec);
     const SimMetrics& m = outcome.metrics;

@@ -25,7 +25,18 @@ A malformed or truncated JSON fails the build.
 counts being gated; on smaller machines the scaling cells are
 oversubscribed by design and only their shape is checked.
 
-Usage: check_bench_json.py [--min-scaling X] BENCH_simcore.json
+--min-throughput-ratio X additionally requires the headline cell's
+speedup_vs_baseline to be >= X. Like --min-scaling it is opt-in: the
+committed BENCH_simcore.json is regenerated on a quiet machine and gated
+at the PR's target ratio, while CI's shared runners check shape only.
+
+Schema version 3 adds a per-cell "phase_breakdown" object (drain / inject
+/ advance / commit wall-clock attribution in nanoseconds); reports that
+declare schema_version >= 3 must carry it in every cell. Version-2
+reports remain accepted without it.
+
+Usage: check_bench_json.py [--min-scaling X] [--min-throughput-ratio X]
+                           BENCH_simcore.json
        check_bench_json.py BENCH_recovery.json
 """
 
@@ -54,17 +65,29 @@ RECOVERY_CELLS = (
 # packets_per_sec is serialized with %.6g; allow generous rounding slack.
 THROUGHPUT_REL_TOL = 0.02
 
+PHASE_BREAKDOWN_FIELDS = ("drain_ns", "inject_ns", "advance_ns", "commit_ns")
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def check_cell(cell):
+def check_cell(cell, require_phases=False):
     name = cell.get("name", "<unnamed>")
     for field in REQUIRED_CELL_FIELDS:
         if field not in cell:
             fail(f"cell {name}: missing field '{field}'")
+    if require_phases:
+        phases = cell.get("phase_breakdown")
+        if not isinstance(phases, dict):
+            fail(f"cell {name}: schema_version >= 3 requires a "
+                 "phase_breakdown object")
+        for field in PHASE_BREAKDOWN_FIELDS:
+            value = phases.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"cell {name}: phase_breakdown.{field} missing or "
+                     "negative")
     if cell["seconds"] <= 0:
         fail(f"cell {name}: nonpositive seconds {cell['seconds']}")
     if cell["carryover_delivered"] < 0:
@@ -83,9 +106,10 @@ def check_cell(cell):
              f"delivered/seconds = {expect_pps:.0f}")
 
 
-def check_perf_simcore(report, min_scaling=None):
+def check_perf_simcore(report, min_scaling=None, min_throughput_ratio=None):
     if report.get("schema_version", 0) < 2:
         fail(f"schema_version {report.get('schema_version')!r} < 2")
+    require_phases = report.get("schema_version", 0) >= 3
 
     baseline = report.get("baseline")
     if not isinstance(baseline, dict):
@@ -101,7 +125,7 @@ def check_perf_simcore(report, min_scaling=None):
         fail("cells missing or empty")
     by_name = {}
     for cell in cells:
-        check_cell(cell)
+        check_cell(cell, require_phases=require_phases)
         by_name[cell["name"]] = cell
 
     headline = by_name.get(headline_name)
@@ -111,6 +135,11 @@ def check_perf_simcore(report, min_scaling=None):
         fail(f"headline cell {headline_name!r} lacks speedup_vs_baseline")
     if headline["speedup_vs_baseline"] <= 0:
         fail("headline speedup_vs_baseline must be positive")
+    if min_throughput_ratio is not None and \
+            headline["speedup_vs_baseline"] < min_throughput_ratio:
+        fail(f"headline speedup_vs_baseline "
+             f"{headline['speedup_vs_baseline']:.3f} below required "
+             f"{min_throughput_ratio:.3f}")
 
     for name, cell in by_name.items():
         # A cell with a <name>_legacy twin is an active-set comparison pair
@@ -208,6 +237,11 @@ def main():
         "--min-scaling", type=float, default=None, metavar="X",
         help="require every speedup_vs_threads1 >= X (perf_simcore only; "
         "pass on runners with enough cores for the gated worker counts)")
+    parser.add_argument(
+        "--min-throughput-ratio", type=float, default=None, metavar="X",
+        help="require the headline cell's speedup_vs_baseline >= X "
+        "(perf_simcore only; pass when gating a report regenerated on a "
+        "quiet machine, not on shared CI runners)")
     args = parser.parse_args()
     try:
         with open(args.report, encoding="utf-8") as fh:
@@ -217,10 +251,14 @@ def main():
 
     bench = report.get("bench")
     if bench == "perf_simcore":
-        check_perf_simcore(report, min_scaling=args.min_scaling)
+        check_perf_simcore(report, min_scaling=args.min_scaling,
+                           min_throughput_ratio=args.min_throughput_ratio)
     elif bench == "abl_recovery":
         if args.min_scaling is not None:
             fail("--min-scaling only applies to perf_simcore reports")
+        if args.min_throughput_ratio is not None:
+            fail("--min-throughput-ratio only applies to perf_simcore "
+                 "reports")
         check_abl_recovery(report)
     else:
         fail(f"unexpected bench id {bench!r}")

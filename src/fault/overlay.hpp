@@ -61,6 +61,11 @@ class FaultOverlay {
   [[nodiscard]] std::uint64_t clean_word(std::size_t w) const noexcept {
     return clean_.word(w);
   }
+  /// 64 nodes' clean bits starting at an arbitrary base node (bit i = node
+  /// base + i), for shards whose node range is not word-aligned.
+  [[nodiscard]] std::uint64_t clean_window(NodeId base) const noexcept {
+    return clean_.window(base);
+  }
 
  private:
   void apply_node(NodeId v);

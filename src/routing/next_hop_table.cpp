@@ -47,4 +47,12 @@ NextHopFabric::NextHopFabric(const GaussianCube& gc) {
   }
 }
 
+void NextHopFabric::fault_free_hops(std::size_t count, const NodeId* cur,
+                                    const NodeId* dst,
+                                    Dim* out) const noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = fault_free_hop(cur[i], dst[i]);
+  }
+}
+
 }  // namespace gcube

@@ -64,6 +64,14 @@ class NextHopFabric {
                        subset)];
   }
 
+  /// Batched fault_free_hop: out[i] = fault_free_hop(cur[i], dst[i]) for
+  /// i < count. Same preconditions per element. The batched advance hands
+  /// a whole active-word's worth of (cur, dst) pairs here so the pending
+  /// mask + tree-edge loads run in a tight non-branchy loop instead of
+  /// interleaved with queue and link bookkeeping.
+  void fault_free_hops(std::size_t count, const NodeId* cur,
+                       const NodeId* dst, Dim* out) const noexcept;
+
   /// Total bytes of precomputed tables (diagnostics / EXPERIMENTS.md).
   [[nodiscard]] std::size_t table_bytes() const noexcept {
     return tree_edge_.size() * sizeof(std::uint8_t) +

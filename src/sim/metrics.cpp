@@ -68,6 +68,10 @@ void SimMetrics::absorb(const SimMetrics& shard) noexcept {
   retransmits += shard.retransmits;
   gave_up += shard.gave_up;
   in_flight_at_end += shard.in_flight_at_end;
+  phase_drain_ns += shard.phase_drain_ns;
+  phase_inject_ns += shard.phase_inject_ns;
+  phase_advance_ns += shard.phase_advance_ns;
+  phase_commit_ns += shard.phase_commit_ns;
   latency_histogram.merge(shard.latency_histogram);
   plan_cache += shard.plan_cache;
   hop_cache += shard.hop_cache;

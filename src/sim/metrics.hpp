@@ -96,6 +96,16 @@ struct SimMetrics {
   /// warmup_cycles == 0. Serial field (set once after the cycle loop).
   std::uint64_t in_flight_at_end = 0;
   LatencyHistogram latency_histogram;
+  /// Wall-clock attribution of the cycle loop, nanoseconds summed across
+  /// workers (so a phase's share of the per-worker totals, not of elapsed
+  /// time). Populated only when SimConfig::phase_timing is set — the
+  /// steady_clock reads are cheap but not free, so benches opt in for an
+  /// instrumented pass and leave timed runs clean. Diagnostics, not
+  /// simulation results: EXCLUDED from deterministic_equals().
+  std::uint64_t phase_drain_ns = 0;    // phase A: mailbox/release drains
+  std::uint64_t phase_inject_ns = 0;   // phase A: injection + occupancy
+  std::uint64_t phase_advance_ns = 0;  // phase B: queue service
+  std::uint64_t phase_commit_ns = 0;   // fused serial section
   /// Router memoization counters over the measurement window (cache state
   /// at run() end minus the snapshot at measurement start). Diagnostics,
   /// not simulation results: under parallel execution the hit/miss split

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -42,7 +45,22 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
   if (fabric != nullptr && fabric->supported()) fabric_ = fabric;
   steer_ = config_.fabric && fabric_ != nullptr;
   active_set_ = config_.active_set;
+  // The scalar escape hatch: --no-batch / SimConfig::batch = false, or the
+  // process-wide environment override the CI equivalence leg uses to force
+  // every simulation in a test binary onto the scalar scan.
+  batch_ = config_.batch && active_set_ &&
+           std::getenv("GCUBE_SIM_NO_BATCH") == nullptr;
+  timing_ = config_.phase_timing;
 }
+
+namespace {
+[[nodiscard]] std::uint64_t ns_between(
+    std::chrono::steady_clock::time_point a,
+    std::chrono::steady_clock::time_point b) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+}  // namespace
 
 NetworkSim::NetworkSim(const Topology& topo, const Router& router,
                        const FaultSet& faults, const SimConfig& config)
@@ -252,7 +270,7 @@ void NetworkSim::commit_stranded(Cycle now, bool measuring,
     while (!sh.stranded.empty()) {
       const Arrival s = sh.stranded.front();
       sh.stranded.pop_front();
-      Packet& p = packet(s.ref);
+      PacketCold& p = cold_of(s.ref);
       if (p.retry_attempts < config_.retry_limit &&
           parked_count_[s.node] < config_.park_capacity) {
         const Cycle delay = config_.retry_backoff_base << p.retry_attempts;
@@ -295,20 +313,22 @@ void NetworkSim::wake_parked(Cycle now, bool measuring) {
       if (measuring) ++metrics_.orphaned_by_node_fault;
       continue;
     }
-    Packet& p = packet(pk.ref);
     if (pk.respawn) {
       // Fresh launch from the source: same id/created (latency measures
-      // end-to-end including the recovery delay), new route state.
-      p.plan.reset();
-      p.next_hop = 0;
-      p.plan_len = 0;
-      p.adaptive = false;
-      p.steer_next = 0;
-      p.tail.clear();
-      p.steered = steer_;
+      // end-to-end including the recovery delay), new route state. The
+      // audit-sample membership is a pure function of the id, so the flag
+      // survives the reset.
+      PacketHot& h = hot_of(pk.ref);
+      PacketCold& c = cold_of(pk.ref);
+      c.plan.reset();
+      c.steer_next = 0;
+      c.tail.clear();
+      h.hops = 0;
+      h.plan_len = 0;
+      h.flags = (h.flags & kPktAudited) | (steer_ ? kPktSteered : 0);
       if (!steer_) {
         std::shared_ptr<const Route> planned =
-            router_.plan_shared(p.src, p.dst);
+            router_.plan_shared(c.src, h.dst);
         if (planned == nullptr) {
           // The planner sees no path at relaunch time; the retransmit is
           // spent and the packet is out of options.
@@ -316,8 +336,9 @@ void NetworkSim::wake_parked(Cycle now, bool measuring) {
           if (measuring) ++metrics_.gave_up;
           continue;
         }
-        p.plan_len = static_cast<std::uint32_t>(planned->length());
-        p.plan = std::move(planned);
+        h.plan_len = static_cast<std::uint32_t>(planned->length());
+        c.plan = std::move(planned);
+        h.flags |= kPktHasPlan;
       }
     }
     // Re-entry bypasses buffer_limit: the packet never left the network,
@@ -351,20 +372,26 @@ void NetworkSim::admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
     plan_len = static_cast<std::uint32_t>(planned->length());
   }
   // Steered packets launch with no plan at all: the fabric tables (or an
-  // adopted plan near faults) decide every hop at service time.
+  // adopted plan near faults) decide every hop at service time. release()
+  // leaves recycled slots with flags == 0 and a clear tail, so every other
+  // field is (re)initialized here.
   const PacketIndex slot = sh.pool.acquire();
-  Packet& p = sh.pool[slot];
-  p.id = now * node_count_ + u;  // unique without a shared counter
-  p.src = u;
-  p.dst = dst;
-  p.created = now;
-  p.plan_len = plan_len;
-  p.plan = std::move(planned);
-  p.next_hop = 0;
-  p.adaptive = false;
-  p.steered = steer_;
-  p.steer_next = 0;
-  p.tail.clear();
+  PacketHot& h = sh.pool.hot(slot);
+  PacketCold& c = sh.pool.cold(slot);
+  const std::uint64_t id = now * node_count_ + u;  // unique, no shared ctr
+  h.dst = dst;
+  h.hops = 0;
+  h.plan_len = plan_len;
+  h.flags = (steer_ ? kPktSteered : 0) |
+            (planned != nullptr ? kPktHasPlan : 0) |
+            ((id & 63) == 0 ? kPktAudited : 0);
+  c.id = id;
+  c.src = u;
+  c.created = now;
+  c.plan = std::move(planned);
+  c.steer_next = 0;
+  c.retry_attempts = 0;
+  c.retransmits_used = 0;
   queues_[u].push_back(make_packet_ref(w, slot));
   if (active_set_) sh.active.set(u - sh.begin);
   ++sh.injected;
@@ -405,6 +432,8 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
   sh.injected = 0;
   sh.removed = 0;
   sh.moved = false;
+  std::chrono::steady_clock::time_point t0, t1;
+  if (timing_) t0 = std::chrono::steady_clock::now();
   // Batch-drain the opposite-parity rings: slots other shards released
   // from this pool, then last cycle's arrivals in ascending source-shard
   // order; shards are contiguous and ascending, so that equals ascending
@@ -423,11 +452,18 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
     Ring<Arrival>& box = shards_[s].outbox[prev][w];
     const std::size_t arrivals = box.size();
     for (std::size_t i = 0; i < arrivals; ++i) {
+      // The destination rings are scattered across the queue table; stay a
+      // few arrivals ahead of the pushes.
+      if (i + 4 < arrivals) __builtin_prefetch(&queues_[box.at(i + 4).node], 1);
       const Arrival a = box.at(i);
       queues_[a.node].push_back(a.ref);
       if (active_set_) sh.active.set(a.node - sh.begin);
     }
     box.clear();
+  }
+  if (timing_) {
+    t1 = std::chrono::steady_clock::now();
+    sh.metrics.phase_drain_ns += ns_between(t0, t1);
   }
   if (active_set_) {
     // Event-driven injection: only nodes whose fire time is due do any
@@ -461,31 +497,37 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
         }
       });
     }
-    return;
-  }
-  for (NodeId u = sh.begin; u < sh.end; ++u) {
-    if (!traffic_.eligible(u)) continue;
-    // Per-(node, cycle) draw stream: injection and destination choice are
-    // pure functions of (seed, u, now), never of sweep or thread order.
-    CounterRng rng(counter_key(config_.seed, u, now));
-    if (!traffic_.should_inject(u, rng)) continue;
-    // The destination draw happens before the buffer check so that offered
-    // load (`generated`, and the draw stream behind it) is identical across
-    // buffer_limit settings; a blocked injection differs only in being
-    // counted in injections_blocked instead of entering the network.
-    const NodeId dst = traffic_.pick_destination(u, rng);
-    admit_packet(w, u, dst, now, measuring);
-  }
-  if (config_.buffer_limit != 0) {
-    // Publish committed occupancy for this cycle's backpressure checks.
+  } else {
     for (NodeId u = sh.begin; u < sh.end; ++u) {
-      occ_[u] = static_cast<std::uint32_t>(queues_[u].size());
+      if (!traffic_.eligible(u)) continue;
+      // Per-(node, cycle) draw stream: injection and destination choice
+      // are pure functions of (seed, u, now), never of sweep or thread
+      // order.
+      CounterRng rng(counter_key(config_.seed, u, now));
+      if (!traffic_.should_inject(u, rng)) continue;
+      // The destination draw happens before the buffer check so that
+      // offered load (`generated`, and the draw stream behind it) is
+      // identical across buffer_limit settings; a blocked injection
+      // differs only in being counted in injections_blocked instead of
+      // entering the network.
+      const NodeId dst = traffic_.pick_destination(u, rng);
+      admit_packet(w, u, dst, now, measuring);
     }
+    if (config_.buffer_limit != 0) {
+      // Publish committed occupancy for this cycle's backpressure checks.
+      for (NodeId u = sh.begin; u < sh.end; ++u) {
+        occ_[u] = static_cast<std::uint32_t>(queues_[u].size());
+      }
+    }
+  }
+  if (timing_) {
+    sh.metrics.phase_inject_ns +=
+        ns_between(t1, std::chrono::steady_clock::now());
   }
 }
 
 void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
-                            bool& moved) {
+                            bool& moved, bool clean, std::uint32_t hint) {
   Shard& sh = shards_[w];
   SimMetrics& m = sh.metrics;
   const Dim n = dims_;
@@ -494,32 +536,39 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
   for (std::uint32_t served = 0;
        served < config_.service_rate && !queue.empty(); ++served) {
     const PacketRef ref = queue.front();
-    Packet& p = packet(ref);
+    PacketHot& h = hot_of(ref);
+    // The batched pass precomputed the front packet's disposition; every
+    // later packet of the queue takes the full decision tree.
+    const std::uint32_t hd = served == 0 ? hint : kHintNone;
     // Adaptive and steered packets carry no complete route, so arrival is
     // detected positionally; a planned packet arrives exactly when its
     // route is consumed (the planner guarantees it ends at dst).
     const bool arrived =
-        p.adaptive || p.steered ? u == p.dst : p.at_destination();
+        hd == kHintArrived ||
+        (hd == kHintNone &&
+         (h.positional_arrival() ? u == h.dst : h.hops == h.plan_len));
     if (arrived) {
-      if (p.audited()) {
-        NodeId replay = p.src;
-        for (std::uint32_t h = 0; h < p.next_hop; ++h) {
-          replay = flip_bit(replay, p.hop_at(h));
+      if (h.audited()) {
+        const PacketCold& c = cold_of(ref);
+        NodeId replay = c.src;
+        for (std::uint32_t i = 0; i < h.hops; ++i) {
+          replay = flip_bit(replay, packet_hop_at(h, c, i));
         }
-        GCUBE_REQUIRE(replay == p.dst,
+        GCUBE_REQUIRE(replay == h.dst,
                       "delivered packet's recorded path must end at dst");
       }
       if (measuring) {
-        if (p.created < config_.warmup_cycles) {
+        const PacketCold& c = cold_of(ref);
+        if (c.created < config_.warmup_cycles) {
           // Warmup-generated packet completing inside the window: real
           // work, but counting it in delivered/latency would let the
           // delivery ratio exceed the offered load and skew the averages.
           ++m.carryover_delivered;
         } else {
           ++m.delivered;
-          m.total_latency += now - p.created;
-          m.total_hops += p.next_hop;
-          m.latency_histogram.record(now - p.created);
+          m.total_latency += now - c.created;
+          m.total_hops += h.hops;
+          m.latency_histogram.record(now - c.created);
         }
         ++m.service_ops;
       }
@@ -554,70 +603,79 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
       moved = true;
     };
     Dim c;
-    if (p.steered) {
-      if (p.next_hop >= hop_limit_) {
+    if (hd < kHintArrived) {
+      // Batched fast path: the classify pass established kPktSteered with
+      // no adopted plan, a clean node, and hops under the livelock guard,
+      // and the table lookup already ran — the hint IS the usable hop.
+      c = static_cast<Dim>(hd);
+    } else if ((h.flags & kPktSteered) != 0) {
+      if (h.hops >= hop_limit_) {
         drop_hop_limit();  // livelock guard, same bound as adaptive re-plans
         continue;
       }
       std::optional<Dim> hop;
-      if (p.plan != nullptr) {
+      if ((h.flags & kPktHasPlan) != 0) {
         // Following a plan adopted at an earlier fault-adjacent node;
         // verify the next adopted hop is still alive before taking it.
-        const Dim pc = p.plan->hops()[p.steer_next];
+        PacketCold& cd = cold_of(ref);
+        const Dim pc = cd.plan->hops()[cd.steer_next];
         if (overlay_.link_usable(u, pc)) {
           hop = pc;
         } else {
           if (measuring) ++m.reroutes;
-          p.plan.reset();  // died underfoot: re-steer from this node
-          p.steer_next = 0;
+          cd.plan.reset();  // died underfoot: re-steer from this node
+          cd.steer_next = 0;
+          h.flags &= ~kPktHasPlan;
         }
       }
       if (!hop) {
-        if (no_faults_ || overlay_.node_clean(u)) {
+        if (clean) {
           // No fault within distance 1: the fabric's fault-free table hop
           // is guaranteed usable — no per-link checks at all.
-          hop = fabric_->fault_free_hop(u, p.dst);
+          hop = fabric_->fault_free_hop(u, h.dst);
         } else {
           // Fault-adjacent node: adopt the router's full fault-aware plan
           // from here. A reroute is counted when the fault actually
           // deflects the packet off its fault-free table hop.
           if (measuring &&
-              !overlay_.link_usable(u, fabric_->fault_free_hop(u, p.dst))) {
+              !overlay_.link_usable(u, fabric_->fault_free_hop(u, h.dst))) {
             ++m.reroutes;
           }
           std::shared_ptr<const Route> adopted =
-              router_.plan_shared(u, p.dst);
+              router_.plan_shared(u, h.dst);
           if (adopted == nullptr || adopted->length() == 0 ||
               !overlay_.link_usable(u, adopted->hops().front())) {
             strand();  // no usable continuation (dst dead or region cut off)
             continue;
           }
-          p.plan = std::move(adopted);
-          p.steer_next = 0;
-          hop = p.plan->hops().front();
+          PacketCold& cd = cold_of(ref);
+          cd.plan = std::move(adopted);
+          cd.steer_next = 0;
+          h.flags |= kPktHasPlan;
+          hop = cd.plan->hops().front();
         }
       }
       c = *hop;
-    } else if (p.adaptive) {
-      if (p.next_hop >= hop_limit_) {
+    } else if ((h.flags & kPktAdaptive) != 0) {
+      if (h.hops >= hop_limit_) {
         drop_hop_limit();  // livelock guard: stepwise re-plans cycled
         continue;
       }
-      const std::optional<Dim> nh = router_.next_hop(u, p.dst);
+      const std::optional<Dim> nh = router_.next_hop(u, h.dst);
       if (!nh || !overlay_.link_usable(u, *nh)) {
         strand();  // no usable continuation (dst dead or region cut off)
         continue;
       }
       c = *nh;
     } else {
-      c = p.plan->hops()[p.next_hop];
+      c = cold_of(ref).plan->hops()[h.hops];
       if (!overlay_.link_usable(u, c)) {
         // The precomputed next link died under the packet: re-plan from
         // here with current fault knowledge instead of traversing it.
         if (measuring) ++m.reroutes;
-        p.adaptive = true;
-        p.plan_len = p.next_hop;  // abandon the unconsumed planned tail
-        const std::optional<Dim> nh = router_.next_hop(u, p.dst);
+        h.flags |= kPktAdaptive;
+        h.plan_len = h.hops;  // abandon the unconsumed planned tail
+        const std::optional<Dim> nh = router_.next_hop(u, h.dst);
         if (!nh || !overlay_.link_usable(u, *nh)) {
           strand();
           continue;
@@ -627,55 +685,230 @@ void NetworkSim::serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
     }
     // Epoch-stamped link reservation: the directed link is free this cycle
     // iff its stamp is older than now + 1 (stamps store now + 1 to keep 0
-    // free). Every link written here starts at a node this shard owns.
-    Cycle& stamp = link_busy_[static_cast<std::size_t>(u) * n + c];
-    if (stamp == now + 1) return;  // link busy: head-of-line blocking
+    // free; 32-bit, see link_busy_). Every link written here starts at a
+    // node this shard owns.
+    std::uint32_t& stamp = link_busy_[static_cast<std::size_t>(u) * n + c];
+    const auto stamp_now = static_cast<std::uint32_t>(now + 1);
+    if (stamp == stamp_now) return;  // link busy: head-of-line blocking
     const NodeId v = flip_bit(u, c);
     if (config_.buffer_limit != 0 && occ_[v] >= config_.buffer_limit) {
       return;  // backpressure against start-of-cycle committed occupancy
     }
-    stamp = now + 1;
+    stamp = stamp_now;
     if (measuring) ++m.service_ops;
-    if (p.adaptive) {
-      if (p.audited()) p.tail.push_back(c);
-    } else if (p.steered) {
-      if (p.audited()) p.tail.push_back(c);  // audit path lives in the tail
-      if (p.plan != nullptr && ++p.steer_next >=
-                                   static_cast<std::uint32_t>(
-                                       p.plan->length())) {
-        p.plan.reset();  // adopted plan consumed; back to table steering
-        p.steer_next = 0;
+    if ((h.flags & (kPktSteered | kPktAdaptive)) != 0) {
+      // Online-routed hop: only the audited sample records it (the audit
+      // path lives in the tail); everyone else keeps just the hop count.
+      if (h.audited()) cold_of(ref).tail.push_back(c);
+      if ((h.flags & (kPktSteered | kPktHasPlan)) ==
+          (kPktSteered | kPktHasPlan)) {
+        PacketCold& cd = cold_of(ref);
+        if (++cd.steer_next >=
+            static_cast<std::uint32_t>(cd.plan->length())) {
+          cd.plan.reset();  // adopted plan consumed; back to table steering
+          cd.steer_next = 0;
+          h.flags &= ~kPktHasPlan;
+        }
       }
     }
-    ++p.next_hop;
+    ++h.hops;
     sh.outbox[parity][shard_of(v)].push_back({v, ref});
     queue.pop_front();
     moved = true;
   }
 }
 
+void NetworkSim::serve_word(unsigned w, std::size_t word_index, Cycle now,
+                            bool measuring, bool& moved, bool retire) {
+  Shard& sh = shards_[w];
+  const NodeId base = sh.begin + static_cast<NodeId>(word_index << 6);
+  // Pass 1 (read-only + stale-bit retirement): harvest the word's set bits
+  // in ascending order and prefetch each front packet's 16-byte hot
+  // record, so the classify pass walks warm cache lines instead of eating
+  // a dependent miss per node.
+  NodeId nodes[64];
+  PacketRef refs[64];
+  unsigned count = 0;
+  for (std::uint64_t bits = sh.active.word(word_index); bits != 0;
+       bits &= bits - 1) {
+    const auto b = static_cast<unsigned>(std::countr_zero(bits));
+    const NodeId u = base + b;
+    const Ring<PacketRef>& q = queues_[u];
+    if (q.empty()) {
+      // Finite-buffer mode leaves retirement to the phase-A maintenance
+      // scan, so an empty-but-active node is normal there; with unbounded
+      // buffers this is purely defensive.
+      if (retire) sh.active.clear(u - sh.begin);
+      continue;
+    }
+    const PacketRef ref = q.front();
+    __builtin_prefetch(
+        &shards_[packet_ref_shard(ref)].pool.hot(packet_ref_slot(ref)));
+    nodes[count] = u;
+    refs[count] = ref;
+    ++count;
+  }
+  if (count == 0) return;
+  // One overlay window answers all 64 clean-node questions (fault-free
+  // runs skip even that load).
+  const std::uint64_t clean =
+      !steer_ ? 0
+              : (no_faults_ ? ~std::uint64_t{0} : overlay_.clean_window(base));
+  // Pass 2 (read-only): classify each front packet — arrived, steered
+  // fast path (no adopted plan, clean node, under the livelock guard), or
+  // "decide in full later" — and gather the fast path's (cur, dst) pairs
+  // for one tight batched table-lookup loop.
+  std::uint32_t hints[64];
+  NodeId cur[64];
+  NodeId dstv[64];
+  unsigned fast_of[64];
+  Dim hops[64];
+  unsigned nfast = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    const PacketHot& h = hot_of(refs[i]);
+    const NodeId u = nodes[i];
+    if (h.positional_arrival() ? u == h.dst : h.hops == h.plan_len) {
+      hints[i] = kHintArrived;
+      // Delivery accounting reads the cold record (created, and src for
+      // the audited replay); start that line early.
+      __builtin_prefetch(&shards_[packet_ref_shard(refs[i])].pool.cold(
+          packet_ref_slot(refs[i])));
+    } else if ((h.flags & (kPktSteered | kPktAdaptive | kPktHasPlan)) ==
+                   kPktSteered &&
+               ((clean >> (u - base)) & 1) != 0 && h.hops < hop_limit_) {
+      hints[i] = 0;  // placeholder until the batch lookup lands
+      cur[nfast] = u;
+      dstv[nfast] = h.dst;
+      fast_of[nfast] = i;
+      ++nfast;
+    } else {
+      hints[i] = kHintNone;
+    }
+  }
+  if (nfast != 0) {
+    fabric_->fault_free_hops(nfast, cur, dstv, hops);
+    for (unsigned i = 0; i < nfast; ++i) {
+      hints[fast_of[i]] = hops[i];
+      // The link-stamp store is the one remaining random access on the
+      // fast path (node_count * dims words); its address is known the
+      // moment the hop is — fetch it for write before the apply pass.
+      __builtin_prefetch(
+          &link_busy_[static_cast<std::size_t>(cur[i]) * dims_ + hops[i]],
+          1);
+    }
+  }
+  // Pass 3 (apply), strictly ascending node order: outbox push order is
+  // the canonical order the determinism contract rests on. The read-only
+  // passes above commute with these applies — within phase B, node
+  // services are mutually independent (per-(node, dim) link stamps, every
+  // handoff via the parity mailboxes), so each node's front packet and
+  // queue are exactly as the classify pass saw them.
+  //
+  // The dominant shape at simulated loads — a depth-1 queue whose single
+  // packet either takes its precomputed hop or delivers — is applied
+  // inline (the exact serve_node semantics for that shape: one service,
+  // then the queue is empty); everything else takes the full path.
+  const unsigned parity = static_cast<unsigned>(now & 1);
+  const auto stamp_now = static_cast<std::uint32_t>(now + 1);
+  SimMetrics& m = sh.metrics;
+  for (unsigned i = 0; i < count; ++i) {
+    const NodeId u = nodes[i];
+    const std::uint32_t hint = hints[i];
+    Ring<PacketRef>& queue = queues_[u];
+    if (retire && hint != kHintNone && queue.size() == 1) {
+      const PacketRef ref = refs[i];
+      PacketHot& h = hot_of(ref);
+      if (hint == kHintArrived) {
+        if (h.audited()) {
+          const PacketCold& c = cold_of(ref);
+          NodeId replay = c.src;
+          for (std::uint32_t k = 0; k < h.hops; ++k) {
+            replay = flip_bit(replay, packet_hop_at(h, c, k));
+          }
+          GCUBE_REQUIRE(replay == h.dst,
+                        "delivered packet's recorded path must end at dst");
+        }
+        if (measuring) {
+          const PacketCold& c = cold_of(ref);
+          if (c.created < config_.warmup_cycles) {
+            ++m.carryover_delivered;
+          } else {
+            ++m.delivered;
+            m.total_latency += now - c.created;
+            m.total_hops += h.hops;
+            m.latency_histogram.record(now - c.created);
+          }
+          ++m.service_ops;
+        }
+        ++sh.removed;
+        queue.pop_front();
+        release_ref(w, ref, parity);
+        moved = true;
+        sh.active.clear(u - sh.begin);
+      } else {
+        const Dim c = static_cast<Dim>(hint);
+        std::uint32_t& stamp =
+            link_busy_[static_cast<std::size_t>(u) * dims_ + c];
+        if (stamp != stamp_now) {  // else HOL-blocked: nothing served
+          stamp = stamp_now;
+          if (measuring) ++m.service_ops;
+          if (h.audited()) cold_of(ref).tail.push_back(c);
+          ++h.hops;
+          const NodeId v = flip_bit(u, c);
+          sh.outbox[parity][shard_of(v)].push_back({v, ref});
+          queue.pop_front();
+          moved = true;
+          sh.active.clear(u - sh.begin);
+        }
+      }
+      continue;
+    }
+    serve_node(w, u, now, measuring, moved,
+               ((clean >> (u - base)) & 1) != 0, hint);
+    if (retire && queue.empty()) sh.active.clear(u - sh.begin);
+  }
+}
+
 void NetworkSim::phase_forward(unsigned w, Cycle now, bool measuring) {
   Shard& sh = shards_[w];
   bool moved = false;
+  std::chrono::steady_clock::time_point t0;
+  if (timing_) t0 = std::chrono::steady_clock::now();
   if (active_set_) {
     // Only nodes whose bit is set can hold packets (phase-A invariant), so
-    // the ascending bit scan serves exactly the canonical node order the
-    // full sweep would. With unbounded buffers an emptied node is retired
-    // here on the spot; with finite ones the phase-A maintenance scan does
-    // it (occ_ is read cross-shard during this phase and may only be
-    // written at the phase-A serial-equivalent point).
+    // the ascending scan serves exactly the canonical node order the full
+    // sweep would. With unbounded buffers an emptied node is retired here
+    // on the spot; with finite ones the phase-A maintenance scan does it
+    // (occ_ is read cross-shard during this phase and may only be written
+    // at the phase-A serial-equivalent point).
     const bool retire = config_.buffer_limit == 0;
-    sh.active.for_each_set([&](std::uint64_t bit) {
-      const NodeId u = sh.begin + static_cast<NodeId>(bit);
-      serve_node(w, u, now, measuring, moved);
-      if (retire && queues_[u].empty()) sh.active.clear(bit);
-    });
+    if (batch_) {
+      const std::size_t words = sh.active.word_count();
+      for (std::size_t wd = 0; wd < words; ++wd) {
+        if (sh.active.word(wd) != 0) {
+          serve_word(w, wd, now, measuring, moved, retire);
+        }
+      }
+    } else {
+      sh.active.for_each_set([&](std::uint64_t bit) {
+        const NodeId u = sh.begin + static_cast<NodeId>(bit);
+        const bool clean =
+            steer_ && (no_faults_ || overlay_.node_clean(u));
+        serve_node(w, u, now, measuring, moved, clean, kHintNone);
+        if (retire && queues_[u].empty()) sh.active.clear(bit);
+      });
+    }
   } else {
     for (NodeId u = sh.begin; u < sh.end; ++u) {
-      serve_node(w, u, now, measuring, moved);
+      const bool clean = steer_ && (no_faults_ || overlay_.node_clean(u));
+      serve_node(w, u, now, measuring, moved, clean, kHintNone);
     }
   }
   sh.moved = moved;
+  if (timing_) {
+    sh.metrics.phase_advance_ns +=
+        ns_between(t0, std::chrono::steady_clock::now());
+  }
 }
 
 SimMetrics NetworkSim::run() {
@@ -816,6 +1049,19 @@ void NetworkSim::serial_commit(Cycle now) noexcept {
   // is a pure function of simulation state, so WHICH thread runs it
   // cannot affect the outcome.
   const bool measuring = now >= config_.warmup_cycles;
+  // Scope guard: the serial section has several exits (errors, deadlock,
+  // run end) and the commit share must be accumulated on all of them.
+  struct TimerGuard {
+    bool on;
+    std::uint64_t* acc;
+    std::chrono::steady_clock::time_point t0;
+    TimerGuard(bool on_, std::uint64_t* acc_) : on(on_), acc(acc_) {
+      if (on) t0 = std::chrono::steady_clock::now();
+    }
+    ~TimerGuard() {
+      if (on) *acc += ns_between(t0, std::chrono::steady_clock::now());
+    }
+  } timer{timing_, &metrics_.phase_commit_ns};
   try {
     for (Shard& sh : shards_) {
       if (sh.error != nullptr) {

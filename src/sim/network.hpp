@@ -99,6 +99,19 @@
 //    gap-scheduled injection realization differs from the per-cycle
 //    Bernoulli scan (same distribution, different draw-stream layout), so
 //    metrics are comparable but not bit-equal across the toggle itself.
+//  * Batched advance (SimConfig::batch, rides on the active set): phase B
+//    consumes the active bitmap a word at a time. Each 64-node window is
+//    harvested with its front packets' 16-byte hot records prefetched,
+//    classified (arrived / steered fast path / everything else), fed to
+//    NextHopFabric::fault_free_hops as one tight lookup batch with the
+//    clean-node test answered from a single FaultOverlay::clean_window
+//    word — and then APPLIED strictly in ascending node order, because
+//    outbox push order is the canonical order the determinism contract
+//    rests on. Within phase B node services are mutually independent
+//    (per-(node, dim) link stamps; every handoff — intra-shard included —
+//    travels through the parity mailboxes), so the read-only
+//    harvest/classify passes commute with the applies and the batched
+//    loop is BIT-IDENTICAL to the scalar scan for any thread count.
 //
 // Two deliberate semantic refinements versus the old serial-only core,
 // both required for order-independence (and covered by the contract):
@@ -188,6 +201,20 @@ struct SimConfig {
   /// comment). Off = the full per-node scan with per-cycle Bernoulli
   /// injection draws (bit-compatible with earlier versions).
   bool active_set = true;
+  /// Batched phase-B advance (effective only with active_set): each active
+  /// bitmap word is harvested into a 64-node batch whose front-packet hot
+  /// records are prefetched, arrival/fast-path classified, fabric table
+  /// hops looked up in one tight loop, and clean-node checks answered from
+  /// one 64-bit overlay window — then applied in ascending node order, so
+  /// metrics are BIT-IDENTICAL to the scalar scan (unlike the active_set
+  /// toggle, which changes injection draw-stream layout). Off = scalar
+  /// per-node scan; also forced off by the GCUBE_SIM_NO_BATCH environment
+  /// variable (the `sim_cli --no-batch` / CI equivalence escape hatch).
+  bool batch = true;
+  /// Accumulate per-phase wall-clock attribution into
+  /// SimMetrics::phase_*_ns (bench instrumentation; adds steady_clock
+  /// reads to the cycle loop, so timed runs leave it off).
+  bool phase_timing = false;
 };
 
 class NetworkSim {
@@ -287,8 +314,11 @@ class NetworkSim {
   /// balanced contiguous node ranges, empty queues, cleared link stamps.
   void configure_shards(unsigned shard_count);
   [[nodiscard]] unsigned shard_of(NodeId u) const noexcept;
-  [[nodiscard]] Packet& packet(PacketRef ref) noexcept {
-    return shards_[packet_ref_shard(ref)].pool[packet_ref_slot(ref)];
+  [[nodiscard]] PacketHot& hot_of(PacketRef ref) noexcept {
+    return shards_[packet_ref_shard(ref)].pool.hot(packet_ref_slot(ref));
+  }
+  [[nodiscard]] PacketCold& cold_of(PacketRef ref) noexcept {
+    return shards_[packet_ref_shard(ref)].pool.cold(packet_ref_slot(ref));
   }
   /// Frees a packet slot from worker w's phase B of the cycle with parity
   /// `parity`: directly when w owns the slot's pool, via the released
@@ -323,9 +353,23 @@ class NetworkSim {
   /// Consumes a due injection fire at u: draws the destination, admits the
   /// packet, and reschedules from the gap distribution.
   void fire_injection(unsigned w, NodeId u, Cycle now, bool measuring);
+  /// First-packet hints precomputed by the batched pass for serve_node:
+  /// either "already at its destination", or the usable fabric hop the
+  /// batch lookup produced (any value below kHintArrived — dimensions are
+  /// < kMaxDimension), or "no precomputation, take the full path".
+  static constexpr std::uint32_t kHintNone = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kHintArrived = 0xFFFFFFFEu;
+
   /// Serves node u's queue for one cycle (the per-node body of phase B).
+  /// `clean` is the hoisted steering precondition for u (steer_ && no
+  /// fault within distance 1); `hint` applies to the FRONT packet only.
   void serve_node(unsigned w, NodeId u, Cycle now, bool measuring,
-                  bool& moved);
+                  bool& moved, bool clean, std::uint32_t hint);
+  /// Batched phase-B advance over one active-bitmap word (see
+  /// SimConfig::batch): harvest + prefetch, classify, batched fabric
+  /// lookups, then apply via serve_node in ascending node order.
+  void serve_word(unsigned w, std::size_t word_index, Cycle now,
+                  bool measuring, bool& moved, bool retire);
   /// Releases every packet queued at or in transit to `u` (serial point).
   std::size_t discard_packets_at(NodeId u);
 
@@ -369,6 +413,10 @@ class NetworkSim {
   const NextHopFabric* fabric_ = nullptr;
   bool steer_ = false;       // config_.fabric && fabric_ != nullptr
   bool active_set_ = false;  // config_.active_set
+  /// config_.batch && active_set_, unless GCUBE_SIM_NO_BATCH is set in the
+  /// environment (CI equivalence runs force the scalar scan process-wide).
+  bool batch_ = false;
+  bool timing_ = false;      // config_.phase_timing
   /// True while the fault set is empty; refreshed at the serial points.
   /// Lets steering skip the per-node overlay loads entirely on fault-free
   /// runs (every node is trivially clean).
@@ -376,7 +424,12 @@ class NetworkSim {
   Cycle total_cycles_ = 0;   // warmup + measure, for fire scheduling
   std::vector<Shard> shards_;
   std::vector<Ring<PacketRef>> queues_;  // per-node FIFO, owner-shard only
-  std::vector<Cycle> link_busy_;  // directed link stamps, owner-shard only
+  /// Directed link stamps, owner-shard only. 32-bit on purpose: stamps are
+  /// compared for equality against (now + 1) mod 2^32 and cleared at every
+  /// run() start, so they alias only past 2^32 cycles in ONE run — far
+  /// beyond any simulated window — and halving the array keeps more of the
+  /// per-hop working set in cache.
+  std::vector<std::uint32_t> link_busy_;
   std::vector<std::uint32_t> occ_;  // phase-A occupancy snapshot
   SimMetrics metrics_;  // serial/global fields; shard partials absorbed in
   std::uint64_t in_flight_ = 0;

@@ -1,14 +1,27 @@
-// Packet representation for the network simulator.
+// Packet representation for the network simulator: a structure-of-arrays
+// hot/cold split.
 //
-// A packet no longer owns its source route: it holds shared ownership of
-// an immutable Route produced by the router's plan cache plus a cursor, so
+// The cycle loop touches every in-flight packet once per hop, so the
+// fields it reads there are segregated into a 16-byte PacketHot record —
+// destination, hop cursor, planned-prefix length, and a flag byte — four
+// to a cache line in the pool's hot lane. Everything else (identity,
+// source, creation cycle, the shared route plan, retry/retransmit
+// counters, the audit hop tail) lives in a parallel PacketCold record
+// touched only at injection, near faults (plan adoption / adaptive
+// re-planning), on the audited delivery-replay sample, and at delivery
+// accounting — never on the steered fault-free fast path.
+//
+// A packet no longer owns its source route: PacketCold::plan holds shared
+// ownership of an immutable Route produced by the router's plan cache, so
 // injection is a refcount bump instead of a hop-vector copy. A packet that
 // goes adaptive (its precomputed next link died mid-flight) stops
-// consuming the plan and records each online hop in a small inline tail
-// buffer, spilling to the heap only past kInlineHops (deep detours under
-// dense dynamic faults). The recorded path is plan[0, plan_len) ++ tail,
-// which the simulator replays at delivery as a safety check on a
-// deterministic sample of packets (see audited()).
+// consuming the plan and — when it is in the audit sample — records each
+// online hop in a small inline tail buffer, spilling to the heap only past
+// kInlineHops (deep detours under dense dynamic faults). The recorded path
+// is plan[0, plan_len) ++ tail, which the simulator replays at delivery as
+// a safety check on the deterministic 1-in-64 audited sample; non-audited
+// packets keep only the hop COUNT (PacketHot::hops), eliminating a
+// per-hop store plus potential heap spill from the common case.
 #pragma once
 
 #include <cstdint>
@@ -59,30 +72,62 @@ class HopTail {
   std::unique_ptr<Dim[]> heap_;
 };
 
-struct Packet {
+// PacketHot::flags bits. kPktHasPlan mirrors PacketCold::plan != nullptr so
+// the fast path can rule out an adopted plan without touching the cold
+// record; kPktAudited precomputes (id & 63) == 0 for the same reason.
+inline constexpr std::uint32_t kPktSteered = 1u << 0;
+inline constexpr std::uint32_t kPktAdaptive = 1u << 1;
+inline constexpr std::uint32_t kPktHasPlan = 1u << 2;
+inline constexpr std::uint32_t kPktAudited = 1u << 3;
+
+/// The per-hop working set of one in-flight packet: everything the
+/// steered fault-free fast path reads or writes, and nothing else.
+/// Exactly 16 bytes — four packets per cache line in the pool's hot lane.
+struct PacketHot {
+  NodeId dst = 0;
+  /// Hops already taken (the cursor into the recorded path). For a planned
+  /// packet this doubles as the index of the next plan hop to consume.
+  std::uint32_t hops = 0;
+  /// Hops [0, plan_len) of the recorded path come from *cold.plan; an
+  /// adaptive packet truncates this to the hops actually traversed before
+  /// the re-plan. Steered packets launch with 0 (no plan at all).
+  std::uint32_t plan_len = 0;
+  std::uint32_t flags = 0;  // kPkt* bits
+
+  /// kSteered: fabric-steered packet, injected with NO plan, routed by
+  /// per-hop table lookups at clean nodes and by an adopted router plan
+  /// near faults; arrival is positional (current node == dst).
+  /// kAdaptive: a mid-flight fault invalidated the precomputed route; the
+  /// packet is steered hop by hop via Router::next_hop from then on.
+  /// Either way arrival cannot be read off the plan cursor.
+  [[nodiscard]] bool positional_arrival() const noexcept {
+    return (flags & (kPktSteered | kPktAdaptive)) != 0;
+  }
+  /// Whether this packet participates in the delivery-replay audit (and so
+  /// records its online hops in cold.tail). A deterministic 1-in-64 sample
+  /// keyed on the id — a pure function of (creation cycle, source), so the
+  /// sample is identical across thread counts — keeps the invariant
+  /// continuously exercised without putting an O(path) replay plus a hop
+  /// recording store on every packet of the hot path.
+  [[nodiscard]] bool audited() const noexcept {
+    return (flags & kPktAudited) != 0;
+  }
+};
+static_assert(sizeof(PacketHot) == 16, "hot lane record must stay 16 bytes");
+
+/// Everything else: touched at injection, delivery, fault adjacency, and
+/// on the audited sample — off the per-hop fast path by construction.
+struct PacketCold {
   std::uint64_t id = 0;
   NodeId src = 0;
-  NodeId dst = 0;
   Cycle created = 0;
   /// Source route: the cached immutable plan computed at injection (the
   /// paper's O(n) header), shared with the router's plan cache and any
-  /// other packet on the same (src, dst) pair.
+  /// other packet on the same (src, dst) pair — or a plan adopted
+  /// mid-flight at a fault-adjacent node by a steered packet.
   std::shared_ptr<const Route> plan;
-  std::uint32_t next_hop = 0;  // hops already taken
-  /// Hops [0, plan_len) come from *plan; an adaptive packet truncates this
-  /// to the hops actually traversed before the re-plan.
-  std::uint32_t plan_len = 0;
-  /// Set when a mid-flight fault invalidated the precomputed route; from
-  /// then on the packet is steered hop by hop via Router::next_hop and
-  /// every hop taken is recorded in `tail`.
-  bool adaptive = false;
-  /// Fabric-steered packet: injected with NO plan at all (plan_len == 0),
-  /// routed by per-hop table lookups at clean nodes and by an adopted
-  /// router plan near faults. Every hop taken is recorded in `tail`;
-  /// arrival is positional (current node == dst).
-  bool steered = false;
-  /// Cursor into an adopted plan (`plan`, entered mid-flight at a patched
-  /// node); adopted hops are NOT part of plan_len — they land in `tail`.
+  /// Cursor into an adopted plan (steered packets only); adopted hops are
+  /// NOT part of plan_len — they land in `tail`.
   std::uint32_t steer_next = 0;
   /// Transient-fault recovery state (SimConfig::retry_limit /
   /// retry_budget). How many times this packet has been parked in a retry
@@ -90,23 +135,16 @@ struct Packet {
   /// retransmits it has consumed.
   std::uint16_t retry_attempts = 0;
   std::uint16_t retransmits_used = 0;
+  /// Audited packets only: every online (steered or adaptive) hop taken.
   HopTail tail;
-
-  [[nodiscard]] bool at_destination() const noexcept {
-    return next_hop == plan_len;
-  }
-  /// The i-th hop of the recorded path (i < next_hop, or i < plan_len for
-  /// the not-yet-traversed planned suffix).
-  [[nodiscard]] Dim hop_at(std::uint32_t i) const {
-    return i < plan_len ? plan->hops()[i] : tail[i - plan_len];
-  }
-  /// Whether this packet participates in the delivery-replay audit (and so
-  /// must record its online hops in `tail`). A deterministic 1-in-64
-  /// sample keyed on the id — a pure function of (creation cycle, source),
-  /// so the sample is identical across thread counts — keeps the invariant
-  /// continuously exercised without putting an O(path) replay plus a hop
-  /// recording store on every packet of the hot path.
-  [[nodiscard]] bool audited() const noexcept { return (id & 63) == 0; }
 };
+
+/// The i-th hop of an audited packet's recorded path (i < hot.hops, or
+/// i < plan_len for the not-yet-traversed planned suffix).
+[[nodiscard]] inline Dim packet_hop_at(const PacketHot& hot,
+                                       const PacketCold& cold,
+                                       std::uint32_t i) {
+  return i < hot.plan_len ? cold.plan->hops()[i] : cold.tail[i - hot.plan_len];
+}
 
 }  // namespace gcube

@@ -1,15 +1,22 @@
 // Flat packet storage for the simulator hot path.
 //
-// Packets live in pools (a slab of Packet slots plus a free list) and every
-// per-node FIFO is a growable power-of-two ring buffer of packet
-// references. Forwarding a packet moves one 32-bit reference between rings
-// instead of shuffling a Packet through std::deque nodes, and once the
-// pools and rings have grown to the run's working set the cycle loop
-// allocates nothing: released slots keep their tail capacity, rings keep
-// their slabs, and plans are shared with the router's cache.
+// Packets live in pools and every per-node FIFO is a growable power-of-two
+// ring buffer of packet references. Forwarding a packet moves one 32-bit
+// reference between rings instead of shuffling a record through std::deque
+// nodes, and once the pools and rings have grown to the run's working set
+// the cycle loop allocates nothing: released slots keep their tail
+// capacity, rings keep their slabs, and plans are shared with the router's
+// cache.
+//
+// Storage is structure-of-arrays at the slot level: every slot index i
+// names a 16-byte PacketHot record in the hot lane AND a PacketCold record
+// in the cold lane. The cycle loop's per-hop pass touches only hot(i) —
+// at GC(10,4)'s steady state a few hundred in-flight packets fit in a few
+// KB of L1 — while cold(i) is dereferenced only at injection, delivery,
+// fault adjacency, and on the audited sample.
 //
 // The node-sharded simulator keeps one pool per shard (each thread
-// allocates from its own slab) and tags every reference with its owning
+// allocates from its own slabs) and tags every reference with its owning
 // pool in the top bits, so a packet forwarded across a shard boundary can
 // still be dereferenced and, eventually, returned home. Concurrency is by
 // phase discipline, not locks: only the owner thread grows or releases
@@ -17,8 +24,8 @@
 // cross-shard releases travel through mailboxes drained under the cycle
 // barrier.
 //
-// Storage is CHUNKED with a fixed-capacity chunk directory, so growing
-// never moves an existing slot and never reallocates the directory. That
+// Storage is CHUNKED with fixed-capacity chunk directories, so growing
+// never moves an existing slot and never reallocates a directory. That
 // stability is load-bearing for the fused cycle loop: shard A may be
 // injecting (acquiring fresh slots in its pool) while shard B is still
 // forwarding and dereferencing A's live slots — legal only because a
@@ -61,21 +68,28 @@ inline constexpr unsigned kMaxPoolShards = 1u << (32 - kPacketRefShardShift);
 
 class PacketPool {
  public:
-  /// Slots per chunk. 4096 Packets per slab amortizes the allocation; the
+  /// Slots per chunk. 4096 slots per slab amortizes the allocation; each
   /// directory covering the whole 16M-slot reference space is then 4096
   /// pointers — preallocated once, so it never reallocates under a
   /// concurrent foreign dereference.
   static constexpr unsigned kChunkBits = 12;
   static constexpr PacketIndex kChunkSize = PacketIndex{1} << kChunkBits;
 
-  PacketPool() : chunks_((kPacketRefSlotMask + 1) >> kChunkBits) {}
+  PacketPool()
+      : hot_chunks_((kPacketRefSlotMask + 1) >> kChunkBits),
+        cold_chunks_((kPacketRefSlotMask + 1) >> kChunkBits) {}
 
-  /// A cleared slot ready for initialization (recycled when possible).
-  /// Owner thread only.
+  /// A slot ready for initialization (recycled when possible). The caller
+  /// (admit_packet / respawn) must initialize EVERY hot and cold field it
+  /// relies on — release() clears only the flag word and the cold fields
+  /// that hold resources. Owner thread only.
   [[nodiscard]] PacketIndex acquire() {
     if (free_.empty()) {
       if ((size_ & (kChunkSize - 1)) == 0) {
-        chunks_[size_ >> kChunkBits] = std::make_unique<Packet[]>(kChunkSize);
+        hot_chunks_[size_ >> kChunkBits] =
+            std::make_unique<PacketHot[]>(kChunkSize);
+        cold_chunks_[size_ >> kChunkBits] =
+            std::make_unique<PacketCold[]>(kChunkSize);
       }
       return size_++;
     }
@@ -84,27 +98,33 @@ class PacketPool {
     return i;
   }
 
-  /// Returns a slot to the free list. Resets routing state but keeps the
-  /// tail's spill capacity for the next tenant. Owner thread only.
+  /// Returns a slot to the free list. Deliberately minimal: the cold
+  /// record is touched only when the flag word says it holds a plan
+  /// refcount or recorded tail hops — a delivered fast-path steered packet
+  /// releases with a single hot-lane store. Tail spill capacity survives
+  /// for the next tenant. Owner thread only.
   void release(PacketIndex i) {
-    Packet& p = (*this)[i];
-    p.plan.reset();
-    p.next_hop = 0;
-    p.plan_len = 0;
-    p.adaptive = false;
-    p.steered = false;
-    p.steer_next = 0;
-    p.retry_attempts = 0;
-    p.retransmits_used = 0;
-    p.tail.clear();
+    PacketHot& h = hot(i);
+    if ((h.flags & (kPktHasPlan | kPktAudited)) != 0) {
+      PacketCold& c = cold(i);
+      c.plan.reset();
+      c.tail.clear();
+    }
+    h.flags = 0;
     free_.push_back(i);
   }
 
-  [[nodiscard]] Packet& operator[](PacketIndex i) {
-    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  [[nodiscard]] PacketHot& hot(PacketIndex i) {
+    return hot_chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
   }
-  [[nodiscard]] const Packet& operator[](PacketIndex i) const {
-    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  [[nodiscard]] const PacketHot& hot(PacketIndex i) const {
+    return hot_chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+  [[nodiscard]] PacketCold& cold(PacketIndex i) {
+    return cold_chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const PacketCold& cold(PacketIndex i) const {
+    return cold_chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return size_; }
   [[nodiscard]] std::size_t live() const noexcept {
@@ -112,7 +132,9 @@ class PacketPool {
   }
 
  private:
-  std::vector<std::unique_ptr<Packet[]>> chunks_;  // fixed-size directory
+  // Fixed-size directories; hot and cold lanes grow in lockstep.
+  std::vector<std::unique_ptr<PacketHot[]>> hot_chunks_;
+  std::vector<std::unique_ptr<PacketCold[]>> cold_chunks_;
   PacketIndex size_ = 0;  // slots ever handed out (chunks allocated lazily)
   std::vector<PacketIndex> free_;
 };

@@ -47,6 +47,23 @@ class NodeBitmap {
     return words_[w];
   }
 
+  /// 64 bits starting at an ARBITRARY base index (bit i of the result =
+  /// test(base + i)), stitched from up to two adjacent words. Lets a
+  /// caller whose 64-entry window is not word-aligned (e.g. a shard whose
+  /// node range starts mid-word) still make one word-parallel query.
+  /// Out-of-range high bits read as 0.
+  [[nodiscard]] std::uint64_t window(std::uint64_t base) const noexcept {
+    const std::size_t w = base >> 6;
+    const unsigned off = static_cast<unsigned>(base & 63);
+    if (w >= words_.size()) return 0;
+    std::uint64_t bits = words_[w] >> off;
+    // off == 0 must not reach the shift: x << 64 is undefined.
+    if (off != 0 && w + 1 < words_.size()) {
+      bits |= words_[w + 1] << (64 - off);
+    }
+    return bits;
+  }
+
   /// Calls f(i) for every set bit in ascending index order. Each word is
   /// scanned from a copy, so f may clear (or set) bits of the word being
   /// visited without perturbing the iteration.

@@ -41,6 +41,12 @@ def cell(name, threads=1, generated=1000, delivered=900, seconds=0.5,
         "total_hops": delivered * 8,
         "packets_per_sec": delivered / seconds,
         "hops_per_sec": delivered * 8 / seconds,
+        "phase_breakdown": {
+            "drain_ns": 1_000_000,
+            "inject_ns": 5_000_000,
+            "advance_ns": 14_000_000,
+            "commit_ns": 100_000,
+        },
     }
     c.update(extra)
     return c
@@ -58,7 +64,7 @@ def good_report():
               speedup_vs_threads1=0.5 / 0.3)
     return {
         "bench": "perf_simcore",
-        "schema_version": 2,
+        "schema_version": 3,
         "mode": "quick",
         "baseline": {
             "label": "self-test",
@@ -158,6 +164,33 @@ def main():
     r = good_report()
     r["schema_version"] = 1
     expect("stale schema rejected", r, ok=False, message="schema_version")
+
+    # --min-throughput-ratio: the good report's headline is 1.8x.
+    expect("headline above the ratio floor passes", good_report(),
+           "--min-throughput-ratio", "1.15")
+    expect("headline below the ratio floor fails", good_report(),
+           "--min-throughput-ratio", "2.0", ok=False,
+           message="below required")
+    expect("ratio gate ungated report still passes", good_report())
+
+    # schema 3 phase breakdown: required per cell, all four fields.
+    r = good_report()
+    del r["cells"][1]["phase_breakdown"]
+    expect("schema-3 cell without phase_breakdown rejected", r, ok=False,
+           message="phase_breakdown")
+    r = good_report()
+    del r["cells"][0]["phase_breakdown"]["advance_ns"]
+    expect("phase_breakdown missing a phase rejected", r, ok=False,
+           message="advance_ns")
+    r = good_report()
+    r["cells"][0]["phase_breakdown"]["drain_ns"] = -1
+    expect("negative phase time rejected", r, ok=False, message="drain_ns")
+    # A version-2 report (pre-phase-timing) is still accepted without it.
+    r = good_report()
+    r["schema_version"] = 2
+    for c in r["cells"]:
+        del c["phase_breakdown"]
+    expect("schema-2 report without phase_breakdown passes", r)
 
     if FAILURES:
         print("check_bench_json_test: FAIL", file=sys.stderr)

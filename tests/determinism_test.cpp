@@ -15,6 +15,10 @@
 // on the fused cycle loop (one dispatch per run, barrier_serial commits,
 // parity-double-buffered rings, batched drains) — so every case is also
 // a regression test that fusing the phases changed nothing observable.
+// The BatchedAdvanceEqualsScalar* cases additionally pin the batched
+// word-at-a-time advance to the scalar per-node scan bit-for-bit, across
+// steered and planned traffic, static and scheduled faults, finite
+// buffers, and thread counts {1, 2, 4}.
 //
 // Cache counters (SimMetrics::plan_cache / hop_cache) are deliberately NOT
 // compared: the hit/miss split depends on which worker reaches a cold key
@@ -86,6 +90,33 @@ void expect_thread_invariant(GcSimSpec spec, const std::string& label) {
     expect_identical(outcome.metrics, baseline.metrics,
                      label + " threads=" + std::to_string(threads) +
                          " vs threads=1");
+  }
+}
+
+/// The batched word-at-a-time advance must be BIT-IDENTICAL to the scalar
+/// active-set scan — a stronger property than the active_set toggle (which
+/// legitimately changes injection draw-stream layout): batching only
+/// reorders reads, never decisions. Compares every batch on/off × thread
+/// count combination against one scalar threads=1 reference.
+void expect_batch_invariant(GcSimSpec spec, const std::string& label) {
+  spec.sim.batch = false;
+  spec.sim.threads = 1;
+  const GcSimOutcome scalar = run_gc_simulation(spec);
+  ASSERT_GT(scalar.metrics.generated, 0u) << label << ": inert workload";
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    spec.sim.threads = threads;
+    spec.sim.batch = true;
+    const GcSimOutcome batched = run_gc_simulation(spec);
+    expect_identical(batched.metrics, scalar.metrics,
+                     label + " batched threads=" + std::to_string(threads) +
+                         " vs scalar threads=1");
+    if (threads != 1) {
+      spec.sim.batch = false;
+      const GcSimOutcome off = run_gc_simulation(spec);
+      expect_identical(off.metrics, scalar.metrics,
+                       label + " scalar threads=" + std::to_string(threads) +
+                           " vs scalar threads=1");
+    }
   }
 }
 
@@ -199,6 +230,46 @@ TEST(Determinism, FiniteBuffersWithScheduledFaultsIsThreadInvariant) {
   spec.sim.injection_rate = 0.20;
   spec.sim.buffer_limit = 3;
   expect_thread_invariant(spec, "GC(8,2) finite buffers + schedule");
+}
+
+TEST(Determinism, BatchedAdvanceEqualsScalarSteeredStatic) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  expect_batch_invariant(spec, "GC(8,2) steered static");
+}
+
+TEST(Determinism, BatchedAdvanceEqualsScalarSteeredScheduled) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.schedule = scheduled_faults(spec);
+  expect_batch_invariant(spec, "GC(8,2) steered scheduled");
+}
+
+TEST(Determinism, BatchedAdvanceEqualsScalarPlannedStatic) {
+  // fabric off = plan-at-injection packets: the batched classify sees no
+  // steered fast path, so this pins the arrival-detection and full-path
+  // hint plumbing instead.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  spec.sim.fabric = false;
+  expect_batch_invariant(spec, "GC(8,2) planned static");
+}
+
+TEST(Determinism, BatchedAdvanceEqualsScalarPlannedScheduled) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.schedule = scheduled_faults(spec);
+  spec.sim.fabric = false;
+  expect_batch_invariant(spec, "GC(8,2) planned scheduled");
+}
+
+TEST(Determinism, BatchedAdvanceEqualsScalarFiniteBuffers) {
+  // Finite buffers disable on-the-spot retirement in the batched pass
+  // (and its depth-1 inline apply); backpressure decisions must still
+  // match the scalar scan exactly.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 3;
+  spec.sim.injection_rate = 0.20;
+  spec.sim.buffer_limit = 3;
+  expect_batch_invariant(spec, "GC(8,2) finite buffers");
 }
 
 TEST(Determinism, RepeatedRunsOfOneSimulatorAgree) {

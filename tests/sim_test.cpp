@@ -356,6 +356,48 @@ TEST(DynamicFaults, DeliveredPathsAreFaultFreeAtTraversalTime) {
   EXPECT_GT(m.fault_events, 0u);
 }
 
+TEST(NetworkSim, AuditedReplayHoldsWhenSteeredPacketsReroute) {
+  // Only the 1-in-64 audited sample records its traversed path in a
+  // HopTail; every other packet keeps a bare hop counter. The delivery
+  // replay (a GCUBE_REQUIRE inside the simulator) must therefore still
+  // see a complete src->dst path for every audited delivery even when
+  // mid-run faults force steered packets off their fault-free table hops
+  // — the reroutes assertion pins that the tails actually diverged.
+  const GaussianCube gc(7, 2);
+  FaultSet faults;
+  const FtgcrRouter router(gc, faults);
+  const FaultSchedule schedule =
+      FaultSchedule::random_node_faults(gc.node_count(), 0.01, 350, 21, 12);
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.08;
+  const SimMetrics m = NetworkSim(gc, router, faults, cfg, schedule).run();
+  EXPECT_GT(m.delivered, 500u) << "audited samples must reach delivery";
+  EXPECT_GT(m.reroutes, 0u) << "faults must deflect steered packets";
+}
+
+TEST(NetworkSim, AuditSamplingAndBatchingLeaveMetricsUnchanged) {
+  // total_hops is fed by the per-packet hop counter, not the audit tail,
+  // and the batched advance only reorders reads — so toggling batching
+  // must reproduce the whole metrics block bit-for-bit, total_hops
+  // included, under the same rerouting workload as the replay test.
+  const GaussianCube gc(7, 2);
+  FaultSet faults_a;
+  FaultSet faults_b;
+  const FtgcrRouter router_a(gc, faults_a);
+  const FtgcrRouter router_b(gc, faults_b);
+  const FaultSchedule schedule =
+      FaultSchedule::random_node_faults(gc.node_count(), 0.01, 350, 21, 12);
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.08;
+  const SimMetrics batched =
+      NetworkSim(gc, router_a, faults_a, cfg, schedule).run();
+  cfg.batch = false;
+  const SimMetrics scalar =
+      NetworkSim(gc, router_b, faults_b, cfg, schedule).run();
+  EXPECT_EQ(batched.total_hops, scalar.total_hops);
+  EXPECT_TRUE(batched.deterministic_equals(scalar));
+}
+
 TEST(DynamicFaults, FtgcrDegradesMoreGracefullyThanEcube) {
   // The tentpole acceptance claim, in miniature: same mid-run fault
   // arrivals, same traffic seed; FTGCR re-routes around discovered faults
