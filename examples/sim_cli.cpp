@@ -28,6 +28,7 @@
 
 #include "sim/runner.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
                 "mttf", "mttr", "retry-limit", "retry-backoff",
                 "retry-budget", "retransmit-timeout", "threads",
                 "oversubscribe", "no-fabric", "no-active-set", "no-batch",
-                "help"});
+                "simd", "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
           << "               [--retransmit-timeout T]\n"
           << "               [--threads T] [--oversubscribe]\n"
           << "               [--no-fabric] [--no-active-set] [--no-batch]\n"
+          << "               [--simd scalar|sse|avx2]\n"
           << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
           << "scheduled events mutate the network mid-run and packets\n"
           << "re-route per hop around faults discovered en route.\n"
@@ -102,8 +104,22 @@ int main(int argc, char** argv) {
           << "--no-batch: disable the batched word-at-a-time advance and\n"
           << "serve active nodes one at a time (metrics are bit-identical\n"
           << "either way; escape hatch for A/B timing and debugging —\n"
-          << "GCUBE_SIM_NO_BATCH=1 does the same for any binary).\n";
+          << "GCUBE_SIM_NO_BATCH=1 does the same for any binary).\n"
+          << "--simd: pin the vector-kernel dispatch level (default: best\n"
+          << "the CPU supports; requests above it are clamped). Metrics\n"
+          << "are bit-identical at every level — escape hatch for A/B\n"
+          << "timing and equivalence checks, like --no-batch;\n"
+          << "GCUBE_SIMD=scalar|sse|avx2 does the same for any binary.\n";
       return 0;
+    }
+    if (args.has("simd")) {
+      const std::string simd = args.get_string("simd", "");
+      const auto level = parse_simd_level(simd);
+      if (!level) {
+        throw std::invalid_argument("unknown --simd level '" + simd +
+                                    "' (scalar|sse|avx2)");
+      }
+      set_simd_level(*level);
     }
     GcSimSpec spec;
     spec.n = static_cast<Dim>(args.get_int("n", 9));

@@ -35,6 +35,19 @@ Schema version 3 adds a per-cell "phase_breakdown" object (drain / inject
 declare schema_version >= 3 must carry it in every cell. Version-2
 reports remain accepted without it.
 
+Schema version 4 adds "simd" (the dispatch level the cell's kernels ran
+at), "timed_seconds" (wall time of the one instrumented pass that
+produced phase_breakdown), and serializes every floating-point field as a
+float — cycles_per_sec used to flip between int and float across cells.
+Version-4 reports are additionally checked for: cycles_per_sec being an
+actual float consistent with (warmup + measure) / seconds, the
+phase_breakdown components summing to at most threads * timed_seconds
+(phases are accumulated across workers, so a multi-thread cell's sum may
+legitimately exceed wall time but never the worker-time budget), and
+_simd_scalar twin cells carrying bit-identical packet counters to their
+vectorized partner — the SIMD dispatch determinism contract, visible in
+the report itself.
+
 Usage: check_bench_json.py [--min-scaling X] [--min-throughput-ratio X]
                            BENCH_simcore.json
        check_bench_json.py BENCH_recovery.json
@@ -67,13 +80,23 @@ THROUGHPUT_REL_TOL = 0.02
 
 PHASE_BREAKDOWN_FIELDS = ("drain_ns", "inject_ns", "advance_ns", "commit_ns")
 
+SIMD_LEVELS = ("scalar", "sse", "avx2")
+
+# cycles_per_sec must reproduce (warmup + measure) / seconds; both come
+# from the same run so only float-formatting slack applies.
+CYCLES_REL_TOL = 0.02
+
+# phase sum <= threads * timed_seconds, plus slack for the clock reads
+# bracketing run() sitting outside the per-phase windows.
+PHASE_SUM_REL_TOL = 0.05
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def check_cell(cell, require_phases=False):
+def check_cell(cell, require_phases=False, require_v4=False):
     name = cell.get("name", "<unnamed>")
     for field in REQUIRED_CELL_FIELDS:
         if field not in cell:
@@ -88,6 +111,31 @@ def check_cell(cell, require_phases=False):
             if not isinstance(value, (int, float)) or value < 0:
                 fail(f"cell {name}: phase_breakdown.{field} missing or "
                      "negative")
+    if require_v4:
+        if cell.get("simd") not in SIMD_LEVELS:
+            fail(f"cell {name}: simd {cell.get('simd')!r} not one of "
+                 f"{SIMD_LEVELS}")
+        timed = cell.get("timed_seconds")
+        if not isinstance(timed, float) or timed <= 0:
+            fail(f"cell {name}: timed_seconds missing, non-float, or "
+                 "nonpositive")
+        # The bug this schema rev fixed: %g serialization emitted
+        # cycles_per_sec as an int in some cells and a float in others.
+        if not isinstance(cell["cycles_per_sec"], float):
+            fail(f"cell {name}: cycles_per_sec {cell['cycles_per_sec']!r} "
+                 "must be serialized as a float")
+        expect_cps = (cell["warmup_cycles"] + cell["measure_cycles"]) \
+            / cell["seconds"]
+        got_cps = cell["cycles_per_sec"]
+        if abs(got_cps - expect_cps) > CYCLES_REL_TOL * expect_cps:
+            fail(f"cell {name}: cycles_per_sec {got_cps} inconsistent with "
+                 f"(warmup + measure) / seconds = {expect_cps:.0f}")
+        phase_sum_sec = sum(cell["phase_breakdown"][f]
+                            for f in PHASE_BREAKDOWN_FIELDS) / 1e9
+        budget = cell["threads"] * timed * (1.0 + PHASE_SUM_REL_TOL)
+        if phase_sum_sec > budget:
+            fail(f"cell {name}: phase_breakdown sum {phase_sum_sec:.4f}s "
+                 f"exceeds threads * timed_seconds budget {budget:.4f}s")
     if cell["seconds"] <= 0:
         fail(f"cell {name}: nonpositive seconds {cell['seconds']}")
     if cell["carryover_delivered"] < 0:
@@ -110,6 +158,7 @@ def check_perf_simcore(report, min_scaling=None, min_throughput_ratio=None):
     if report.get("schema_version", 0) < 2:
         fail(f"schema_version {report.get('schema_version')!r} < 2")
     require_phases = report.get("schema_version", 0) >= 3
+    require_v4 = report.get("schema_version", 0) >= 4
 
     baseline = report.get("baseline")
     if not isinstance(baseline, dict):
@@ -125,7 +174,7 @@ def check_perf_simcore(report, min_scaling=None, min_throughput_ratio=None):
         fail("cells missing or empty")
     by_name = {}
     for cell in cells:
-        check_cell(cell, require_phases=require_phases)
+        check_cell(cell, require_phases=require_phases, require_v4=require_v4)
         by_name[cell["name"]] = cell
 
     headline = by_name.get(headline_name)
@@ -146,6 +195,23 @@ def check_perf_simcore(report, min_scaling=None, min_throughput_ratio=None):
         # and must report the measured ratio.
         if f"{name}_legacy" in by_name and "speedup_vs_legacy" not in cell:
             fail(f"cell {name}: has a legacy twin but no speedup_vs_legacy")
+        # Likewise a <name>_simd_scalar twin: same workload with kernels
+        # pinned scalar. The vectorized cell must report the attribution
+        # ratio, and the twin's packet counters must match bit for bit —
+        # SIMD dispatch may change wall time, never a decision.
+        twin = by_name.get(f"{name}_simd_scalar")
+        if twin is not None:
+            if "speedup_vs_simd_scalar" not in cell:
+                fail(f"cell {name}: has a simd_scalar twin but no "
+                     "speedup_vs_simd_scalar")
+            if require_v4 and twin.get("simd") != "scalar":
+                fail(f"cell {name}_simd_scalar: simd level "
+                     f"{twin.get('simd')!r} is not 'scalar'")
+            for counter in ("generated", "delivered", "total_hops"):
+                if cell[counter] != twin[counter]:
+                    fail(f"cell {name}: {counter} {cell[counter]} differs "
+                         f"from simd_scalar twin ({twin[counter]}) — "
+                         "SIMD dispatch determinism violated")
         # Thread-scaling cells (threads > 1 against a named 1-thread base)
         # must report their curve point.
         if cell["threads"] > 1 and "speedup_vs_threads1" not in cell:

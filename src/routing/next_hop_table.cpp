@@ -1,5 +1,9 @@
 #include "routing/next_hop_table.hpp"
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "routing/tree_routing.hpp"
 #include "topology/gaussian_tree.hpp"
 
@@ -13,6 +17,8 @@ NextHopFabric::NextHopFabric(const GaussianCube& gc) {
   class_mask_ = static_cast<NodeId>(class_count_ - 1);
   high_mask_ = low_bits(~low_mask(alpha_), gc.dims());
   chunk_mask_ = (std::uint32_t{1} << class_count_) - 1;
+  fold_iters_ = (static_cast<std::uint32_t>(gc.dims()) + class_count_ - 1) /
+                class_count_;
   high_dims_.resize(class_count_);
   for (std::uint32_t k = 0; k < class_count_; ++k) {
     high_dims_[k] = gc.high_dims_mask(k);
@@ -45,6 +51,9 @@ NextHopFabric::NextHopFabric(const GaussianCube& gc) {
       }
     }
   }
+  // Zero padding so the AVX2 byte gathers (4-byte loads at scale 1) stay in
+  // bounds at the table's last entries.
+  tree_edge_.insert(tree_edge_.end(), kGatherPad, 0);
 }
 
 void NextHopFabric::fault_free_hops(std::size_t count, const NodeId* cur,
@@ -54,5 +63,83 @@ void NextHopFabric::fault_free_hops(std::size_t count, const NodeId* cur,
     out[i] = fault_free_hop(cur[i], dst[i]);
   }
 }
+
+void NextHopFabric::fault_free_hops(SimdLevel level, std::size_t count,
+                                    const NodeId* cur, const NodeId* dst,
+                                    Dim* out) const noexcept {
+#if defined(__x86_64__)
+  if (level >= SimdLevel::kAvx2) {
+    fault_free_hops_avx2(count, cur, dst, out);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  fault_free_hops(count, cur, dst, out);
+}
+
+#if defined(__x86_64__)
+
+__attribute__((target("avx2"))) void NextHopFabric::fault_free_hops_avx2(
+    std::size_t count, const NodeId* cur, const NodeId* dst,
+    Dim* out) const noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i vclass = _mm256_set1_epi32(static_cast<int>(class_mask_));
+  const __m256i vhigh = _mm256_set1_epi32(static_cast<int>(high_mask_));
+  const __m256i vchunk = _mm256_set1_epi32(static_cast<int>(chunk_mask_));
+  const __m128i shift_cc = _mm_cvtsi32_si128(static_cast<int>(class_count_));
+  const __m128i shift_a = _mm_cvtsi32_si128(static_cast<int>(alpha_));
+  const auto* hd_table = reinterpret_cast<const int*>(high_dims_.data());
+  const auto* edge_table = reinterpret_cast<const int*>(tree_edge_.data());
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i c = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cur + i));
+    const __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i diff = _mm256_xor_si256(c, d);
+    const __m256i k = _mm256_and_si256(c, vclass);
+    const __m256i owned = _mm256_i32gather_epi32(hd_table, k, 4);
+    const __m256i pending = _mm256_and_si256(diff, owned);
+    // lsb_index(pending) without per-lane tzcnt: isolate the low bit and
+    // read its float exponent — exact because the operand is a power of two
+    // below 2^31 (labels stop at kMaxDimension bits).
+    const __m256i low = _mm256_and_si256(pending,
+                                         _mm256_sub_epi32(zero, pending));
+    const __m256i exp_bits = _mm256_srli_epi32(
+        _mm256_castps_si256(_mm256_cvtepi32_ps(low)), 23);
+    __m256i hop = _mm256_sub_epi32(exp_bits, _mm256_set1_epi32(127));
+    const __m256i pend_zero = _mm256_cmpeq_epi32(pending, zero);
+    if (_mm256_movemask_epi8(pend_zero) != 0) {
+      // Some lane exhausted its own class's bits: fold the remaining high
+      // diff bits into an owning-class subset and gather the tree edge.
+      __m256i f = _mm256_and_si256(diff, vhigh);
+      __m256i subset = zero;
+      for (std::uint32_t r = 0; r < fold_iters_; ++r) {
+        subset = _mm256_or_si256(subset, _mm256_and_si256(f, vchunk));
+        f = _mm256_srl_epi32(f, shift_cc);
+      }
+      const __m256i kd = _mm256_and_si256(d, vclass);
+      __m256i idx = _mm256_or_si256(_mm256_sll_epi32(k, shift_a), kd);
+      idx = _mm256_or_si256(_mm256_sll_epi32(idx, shift_cc), subset);
+      const __m256i edge = _mm256_and_si256(
+          _mm256_i32gather_epi32(edge_table, idx, 1),
+          _mm256_set1_epi32(0xFF));
+      hop = _mm256_blendv_epi8(hop, edge, pend_zero);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), hop);
+  }
+  for (; i < count; ++i) out[i] = fault_free_hop(cur[i], dst[i]);
+}
+
+#else
+
+void NextHopFabric::fault_free_hops_avx2(std::size_t count, const NodeId* cur,
+                                         const NodeId* dst,
+                                         Dim* out) const noexcept {
+  fault_free_hops(count, cur, dst, out);
+}
+
+#endif
 
 }  // namespace gcube

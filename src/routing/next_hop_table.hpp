@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "topology/gaussian_cube.hpp"
+#include "util/simd.hpp"
 
 namespace gcube {
 
@@ -72,19 +73,36 @@ class NextHopFabric {
   void fault_free_hops(std::size_t count, const NodeId* cur,
                        const NodeId* dst, Dim* out) const noexcept;
 
+  /// SIMD-dispatched batch lookup: same contract as fault_free_hops, with
+  /// the AVX2 path doing the pending-mask test, tzcnt (via the float
+  /// exponent of the isolated low bit — exact for any power of two below
+  /// 2^31, and labels stop at kMaxDimension = 26) and both table loads as
+  /// 8-lane gathers. SSE has no gathers, so levels below AVX2 run the
+  /// scalar reference. Bit-identical at every level.
+  void fault_free_hops(SimdLevel level, std::size_t count, const NodeId* cur,
+                       const NodeId* dst, Dim* out) const noexcept;
+
   /// Total bytes of precomputed tables (diagnostics / EXPERIMENTS.md).
   [[nodiscard]] std::size_t table_bytes() const noexcept {
-    return tree_edge_.size() * sizeof(std::uint8_t) +
+    return (tree_edge_.size() - kGatherPad) * sizeof(std::uint8_t) +
            high_dims_.size() * sizeof(NodeId);
   }
 
  private:
+  /// The AVX2 path reads tree_edge_ bytes with 4-byte gathers, so the table
+  /// carries this much zero padding past its last real entry.
+  static constexpr std::size_t kGatherPad = 3;
+
+  void fault_free_hops_avx2(std::size_t count, const NodeId* cur,
+                            const NodeId* dst, Dim* out) const noexcept;
+
   bool supported_ = false;
   Dim alpha_ = 0;
   std::uint32_t class_count_ = 1;  // 2^alpha
   NodeId class_mask_ = 0;          // class_count_ - 1
   NodeId high_mask_ = 0;           // label bits >= alpha
   std::uint32_t chunk_mask_ = 0;   // low class_count_ bits of a fold chunk
+  std::uint32_t fold_iters_ = 0;   // subset-fold rounds: ceil(dims/2^alpha)
   std::vector<NodeId> high_dims_;  // Dim(k) mask per ending class
   // First tree-walk edge per (class(cur), class(dst), owning-class subset),
   // 0xFF where cur == dst would be the only way to reach the key.

@@ -1,0 +1,220 @@
+#include "sim/advance_simd.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace gcube {
+namespace {
+
+constexpr std::uint32_t kPositional = kPktSteered | kPktAdaptive;
+constexpr std::uint32_t kFastSelect =
+    kPktSteered | kPktAdaptive | kPktHasPlan;
+
+ClassifyMasks classify_scalar(unsigned count, const PacketHot* const* hot,
+                              const NodeId* nodes, NodeId base,
+                              std::uint64_t clean,
+                              std::uint32_t hop_limit) noexcept {
+  ClassifyMasks m;
+  for (unsigned i = 0; i < count; ++i) {
+    const PacketHot& h = *hot[i];
+    const NodeId u = nodes[i];
+    if (h.positional_arrival() ? u == h.dst : h.hops == h.plan_len) {
+      m.arrived |= std::uint64_t{1} << i;
+    } else if ((h.flags & kFastSelect) == kPktSteered &&
+               ((clean >> (u - base)) & 1) != 0 && h.hops < hop_limit) {
+      m.fast |= std::uint64_t{1} << i;
+    }
+  }
+  return m;
+}
+
+#if defined(__x86_64__)
+
+// ---- AVX2: 8 records per group --------------------------------------------
+
+__attribute__((target("avx2"))) ClassifyMasks classify_avx2(
+    unsigned count, const PacketHot* const* hot, const NodeId* nodes,
+    NodeId base, std::uint64_t clean, std::uint32_t hop_limit) noexcept {
+  ClassifyMasks m;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i basev = _mm256_set1_epi32(static_cast<int>(base));
+  const __m256i one64 = _mm256_set1_epi64x(1);
+  const __m256i cleanv = _mm256_set1_epi64x(static_cast<long long>(clean));
+  const __m256i vpos = _mm256_set1_epi32(static_cast<int>(kPositional));
+  const __m256i vsel = _mm256_set1_epi32(static_cast<int>(kFastSelect));
+  const __m256i vsteer = _mm256_set1_epi32(static_cast<int>(kPktSteered));
+  // Unsigned 32-bit compare via sign-bias (hop_limit may use the full
+  // uint32 range when configured explicitly).
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vlimit = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(hop_limit)), bias);
+  unsigned i = 0;
+  for (; i + 8 <= count; i += 8) {
+    // Two records per 256-bit load half: v_k holds records i+k (low lane)
+    // and i+k+4 (high lane); three unpack rounds transpose the group into
+    // one lane vector per PacketHot field, lane j <-> record i+j.
+    const __m256i v0 = _mm256_set_m128i(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 4])),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 0])));
+    const __m256i v1 = _mm256_set_m128i(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 5])),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 1])));
+    const __m256i v2 = _mm256_set_m128i(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 6])),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 2])));
+    const __m256i v3 = _mm256_set_m128i(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 7])),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 3])));
+    const __m256i lo01 = _mm256_unpacklo_epi32(v0, v1);  // dst dst hop hop
+    const __m256i hi01 = _mm256_unpackhi_epi32(v0, v1);  // pl pl fl fl
+    const __m256i lo23 = _mm256_unpacklo_epi32(v2, v3);
+    const __m256i hi23 = _mm256_unpackhi_epi32(v2, v3);
+    const __m256i dstv = _mm256_unpacklo_epi64(lo01, lo23);
+    const __m256i hopsv = _mm256_unpackhi_epi64(lo01, lo23);
+    const __m256i plv = _mm256_unpacklo_epi64(hi01, hi23);
+    const __m256i flv = _mm256_unpackhi_epi64(hi01, hi23);
+    const __m256i uv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(nodes + i));
+
+    const auto not_positional = static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(
+            _mm256_cmpeq_epi32(_mm256_and_si256(flv, vpos), zero))));
+    const auto at_dst = static_cast<std::uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(uv, dstv))));
+    const auto plan_done = static_cast<std::uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(hopsv, plv))));
+    const std::uint32_t arrived =
+        (at_dst & ~not_positional) | (plan_done & not_positional);
+
+    const auto steer_only = static_cast<std::uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+            _mm256_and_si256(flv, vsel), vsteer))));
+    const auto under = static_cast<std::uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(
+            vlimit, _mm256_xor_si256(hopsv, bias)))));
+    // Clean bits: shift the shared 64-bit window right by each lane's
+    // node offset (widened to 64-bit lanes for the variable shift).
+    const __m256i off = _mm256_sub_epi32(uv, basev);
+    const __m256i off_lo =
+        _mm256_cvtepu32_epi64(_mm256_castsi256_si128(off));
+    const __m256i off_hi =
+        _mm256_cvtepu32_epi64(_mm256_extracti128_si256(off, 1));
+    const auto clean_lo = static_cast<std::uint32_t>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_srlv_epi64(cleanv, off_lo), one64),
+            one64))));
+    const auto clean_hi = static_cast<std::uint32_t>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_srlv_epi64(cleanv, off_hi), one64),
+            one64))));
+    const std::uint32_t clean_ok = clean_lo | (clean_hi << 4);
+
+    const std::uint32_t fast = steer_only & under & clean_ok & ~arrived;
+    m.arrived |= static_cast<std::uint64_t>(arrived) << i;
+    m.fast |= static_cast<std::uint64_t>(fast) << i;
+  }
+  if (i < count) {
+    const ClassifyMasks tail = classify_scalar(count - i, hot + i, nodes + i,
+                                               base, clean, hop_limit);
+    m.arrived |= tail.arrived << i;
+    m.fast |= tail.fast << i;
+  }
+  return m;
+}
+
+// ---- SSE4.2: 4 records per group ------------------------------------------
+
+__attribute__((target("sse4.2"))) ClassifyMasks classify_sse(
+    unsigned count, const PacketHot* const* hot, const NodeId* nodes,
+    NodeId base, std::uint64_t clean, std::uint32_t hop_limit) noexcept {
+  ClassifyMasks m;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i vpos = _mm_set1_epi32(static_cast<int>(kPositional));
+  const __m128i vsel = _mm_set1_epi32(static_cast<int>(kFastSelect));
+  const __m128i vsteer = _mm_set1_epi32(static_cast<int>(kPktSteered));
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vlimit =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(hop_limit)), bias);
+  unsigned i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i r0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 0]));
+    const __m128i r1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 1]));
+    const __m128i r2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 2]));
+    const __m128i r3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hot[i + 3]));
+    const __m128i lo01 = _mm_unpacklo_epi32(r0, r1);
+    const __m128i hi01 = _mm_unpackhi_epi32(r0, r1);
+    const __m128i lo23 = _mm_unpacklo_epi32(r2, r3);
+    const __m128i hi23 = _mm_unpackhi_epi32(r2, r3);
+    const __m128i dstv = _mm_unpacklo_epi64(lo01, lo23);
+    const __m128i hopsv = _mm_unpackhi_epi64(lo01, lo23);
+    const __m128i plv = _mm_unpacklo_epi64(hi01, hi23);
+    const __m128i flv = _mm_unpackhi_epi64(hi01, hi23);
+    const __m128i uv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i));
+
+    const auto not_positional =
+        static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(
+            _mm_cmpeq_epi32(_mm_and_si128(flv, vpos), zero))));
+    const auto at_dst = static_cast<std::uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(uv, dstv))));
+    const auto plan_done = static_cast<std::uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(hopsv, plv))));
+    const std::uint32_t arrived =
+        (at_dst & ~not_positional) | (plan_done & not_positional);
+
+    const auto steer_only = static_cast<std::uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(
+            _mm_cmpeq_epi32(_mm_and_si128(flv, vsel), vsteer))));
+    const auto under = static_cast<std::uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(
+            _mm_cmpgt_epi32(vlimit, _mm_xor_si128(hopsv, bias)))));
+    // No per-lane variable shifts below AVX2: the 4 clean bits come from
+    // scalar window reads.
+    std::uint32_t clean_ok = 0;
+    for (unsigned j = 0; j < 4; ++j) {
+      clean_ok |= static_cast<std::uint32_t>(
+                      (clean >> (nodes[i + j] - base)) & 1)
+                  << j;
+    }
+
+    const std::uint32_t fast = steer_only & under & clean_ok & ~arrived;
+    m.arrived |= static_cast<std::uint64_t>(arrived) << i;
+    m.fast |= static_cast<std::uint64_t>(fast) << i;
+  }
+  if (i < count) {
+    const ClassifyMasks tail = classify_scalar(count - i, hot + i, nodes + i,
+                                               base, clean, hop_limit);
+    m.arrived |= tail.arrived << i;
+    m.fast |= tail.fast << i;
+  }
+  return m;
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+ClassifyMasks classify_front_packets(SimdLevel level, unsigned count,
+                                     const PacketHot* const* hot,
+                                     const NodeId* nodes, NodeId base,
+                                     std::uint64_t clean,
+                                     std::uint32_t hop_limit) noexcept {
+#if defined(__x86_64__)
+  if (level >= SimdLevel::kAvx2) {
+    return classify_avx2(count, hot, nodes, base, clean, hop_limit);
+  }
+  if (level >= SimdLevel::kSse) {
+    return classify_sse(count, hot, nodes, base, clean, hop_limit);
+  }
+#else
+  (void)level;
+#endif
+  return classify_scalar(count, hot, nodes, base, clean, hop_limit);
+}
+
+}  // namespace gcube

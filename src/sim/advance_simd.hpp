@@ -1,0 +1,46 @@
+// SIMD classify kernel for the batched phase-B advance.
+//
+// serve_word's classify pass is a pure function of each harvested front
+// packet's 16-byte PacketHot record, its node id, and one 64-bit overlay
+// clean window — exactly the shape the SoA split (PR 7) was built to feed
+// to vector lanes. classify_front_packets answers, per entry, the two
+// questions the apply pass needs precomputed:
+//
+//   arrived:  positional packets (steered/adaptive) compare node == dst,
+//             planned ones compare hops == plan_len;
+//   fast:     steered with no adopted plan, at a clean node, under the
+//             livelock hop guard, and not arrived — i.e. eligible for the
+//             batched NextHopFabric::fault_free_hops lookup.
+//
+// as two bitmasks over the (<= 64) entries. The vector paths load 4 (SSE)
+// or 8 (AVX2) hot records per group — two 16-byte records per 128-bit
+// lane half — transpose them into per-field lane vectors, and evaluate
+// every predicate as integer compares; there is no arithmetic that could
+// reassociate, so all levels are bit-identical to the scalar reference by
+// construction (and the determinism suite sweeps them to prove it).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+#include "util/bits.hpp"
+#include "util/simd.hpp"
+
+namespace gcube {
+
+struct ClassifyMasks {
+  std::uint64_t arrived = 0;
+  std::uint64_t fast = 0;
+};
+
+/// Classifies `count` (<= 64) harvested front packets. `hot[i]` points at
+/// entry i's PacketHot record, `nodes[i]` is its node, `clean` is the
+/// overlay clean window based at `base` (bit u - base answers node u), and
+/// `hop_limit` is the livelock guard. Entries in neither returned mask
+/// take the full serve_node decision tree.
+[[nodiscard]] ClassifyMasks classify_front_packets(
+    SimdLevel level, unsigned count, const PacketHot* const* hot,
+    const NodeId* nodes, NodeId base, std::uint64_t clean,
+    std::uint32_t hop_limit) noexcept;
+
+}  // namespace gcube

@@ -10,8 +10,10 @@
 #include <thread>
 #include <utility>
 
+#include "sim/advance_simd.hpp"
 #include "sim/sweep.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace gcube {
 
@@ -51,6 +53,7 @@ NetworkSim::NetworkSim(const Topology& topo, const Router& router,
   batch_ = config_.batch && active_set_ &&
            std::getenv("GCUBE_SIM_NO_BATCH") == nullptr;
   timing_ = config_.phase_timing;
+  simd_ = simd_level();
 }
 
 namespace {
@@ -398,15 +401,16 @@ void NetworkSim::admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
 }
 
 void NetworkSim::fire_injection(unsigned w, NodeId u, Cycle now,
-                                bool measuring) {
+                                std::uint64_t key, bool measuring) {
   shards_[w].armed[u - shards_[w].begin] = 0;  // this fire is consumed
   // A node that became ineligible since scheduling is descheduled; if a
   // later repair-node event makes it eligible again, rearm_injection gives
   // it a fresh fire.
   if (!traffic_.eligible(u)) return;
   // Per-(node, cycle) draw stream: destination and the next gap are pure
-  // functions of (seed, u, now), never of pop or thread order.
-  CounterRng rng(counter_key(config_.seed, u, now));
+  // functions of (seed, u, now), never of pop or thread order. The key was
+  // batched across the fire bucket by the caller.
+  CounterRng rng(key);
   const NodeId dst = traffic_.pick_destination(u, rng);
   admit_packet(w, u, dst, now, measuring);
   // The gap is drawn whether or not the buffer admitted the packet, so
@@ -454,7 +458,9 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
     for (std::size_t i = 0; i < arrivals; ++i) {
       // The destination rings are scattered across the queue table; stay a
       // few arrivals ahead of the pushes.
-      if (i + 4 < arrivals) __builtin_prefetch(&queues_[box.at(i + 4).node], 1);
+      if (i + kPrefetchAhead < arrivals) {
+        prefetch_write(&queues_[box.at(i + kPrefetchAhead).node]);
+      }
       const Arrival a = box.at(i);
       queues_[a.node].push_back(a.ref);
       if (active_set_) sh.active.set(a.node - sh.begin);
@@ -479,7 +485,18 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
       sh.far_fires.pop();
     }
     std::sort(bucket.begin(), bucket.end());
-    for (const NodeId u : bucket) fire_injection(w, u, now, measuring);
+    // The per-(node, cycle) counter keys are a pure lane-parallel function
+    // of the sorted bucket; batch them, then fire in ascending node order.
+    const std::size_t due = bucket.size();
+    std::uint64_t keys[64];
+    for (std::size_t off = 0; off < due; off += 64) {
+      const std::size_t chunk = std::min<std::size_t>(64, due - off);
+      counter_keys(simd_, config_.seed, now, bucket.data() + off, chunk,
+                   keys);
+      for (std::size_t j = 0; j < chunk; ++j) {
+        fire_injection(w, bucket[off + j], now, keys[j], measuring);
+      }
+    }
     bucket.clear();
     if (config_.buffer_limit != 0) {
       // Maintenance scan over live bits only: retire nodes whose queue
@@ -498,20 +515,46 @@ void NetworkSim::phase_inject(unsigned w, Cycle now, bool measuring) {
       });
     }
   } else {
-    for (NodeId u = sh.begin; u < sh.end; ++u) {
-      if (!traffic_.eligible(u)) continue;
-      // Per-(node, cycle) draw stream: injection and destination choice
-      // are pure functions of (seed, u, now), never of sweep or thread
-      // order.
-      CounterRng rng(counter_key(config_.seed, u, now));
-      if (!traffic_.should_inject(u, rng)) continue;
-      // The destination draw happens before the buffer check so that
-      // offered load (`generated`, and the draw stream behind it) is
-      // identical across buffer_limit settings; a blocked injection
-      // differs only in being counted in injections_blocked instead of
-      // entering the network.
-      const NodeId dst = traffic_.pick_destination(u, rng);
-      admit_packet(w, u, dst, now, measuring);
+    if (const std::optional<double> rate = traffic_.bernoulli_rate()) {
+      // Batched Bernoulli sweep: one SIMD predicate pass answers "does
+      // node u inject this cycle" for 64 nodes at a time. Drawing for an
+      // ineligible node has no side effects (every node's stream is an
+      // independent pure function of (seed, node, cycle)), so discarding
+      // those lanes reproduces the scalar scan — which skips them before
+      // drawing — exactly. Hit nodes replay their stream from the key:
+      // should_inject consumes the predicate draw (true by construction),
+      // then the destination draws follow as in the scalar loop.
+      for (NodeId blk = sh.begin; blk < sh.end; blk += 64) {
+        const auto cnt =
+            static_cast<unsigned>(std::min<NodeId>(64, sh.end - blk));
+        std::uint64_t mask = counter_bernoulli_mask(simd_, config_.seed,
+                                                    now, blk, cnt, *rate);
+        for (; mask != 0; mask &= mask - 1) {
+          const NodeId u =
+              blk + static_cast<NodeId>(std::countr_zero(mask));
+          if (!traffic_.eligible(u)) continue;
+          CounterRng rng(counter_key(config_.seed, u, now));
+          if (!traffic_.should_inject(u, rng)) continue;
+          const NodeId dst = traffic_.pick_destination(u, rng);
+          admit_packet(w, u, dst, now, measuring);
+        }
+      }
+    } else {
+      for (NodeId u = sh.begin; u < sh.end; ++u) {
+        if (!traffic_.eligible(u)) continue;
+        // Per-(node, cycle) draw stream: injection and destination choice
+        // are pure functions of (seed, u, now), never of sweep or thread
+        // order.
+        CounterRng rng(counter_key(config_.seed, u, now));
+        if (!traffic_.should_inject(u, rng)) continue;
+        // The destination draw happens before the buffer check so that
+        // offered load (`generated`, and the draw stream behind it) is
+        // identical across buffer_limit settings; a blocked injection
+        // differs only in being counted in injections_blocked instead of
+        // entering the network.
+        const NodeId dst = traffic_.pick_destination(u, rng);
+        admit_packet(w, u, dst, now, measuring);
+      }
     }
     if (config_.buffer_limit != 0) {
       // Publish committed occupancy for this cycle's backpressure checks.
@@ -728,6 +771,7 @@ void NetworkSim::serve_word(unsigned w, std::size_t word_index, Cycle now,
   // a dependent miss per node.
   NodeId nodes[64];
   PacketRef refs[64];
+  PacketHot* hotp[64];
   unsigned count = 0;
   for (std::uint64_t bits = sh.active.word(word_index); bits != 0;
        bits &= bits - 1) {
@@ -742,10 +786,12 @@ void NetworkSim::serve_word(unsigned w, std::size_t word_index, Cycle now,
       continue;
     }
     const PacketRef ref = q.front();
-    __builtin_prefetch(
-        &shards_[packet_ref_shard(ref)].pool.hot(packet_ref_slot(ref)));
+    PacketHot* h =
+        &shards_[packet_ref_shard(ref)].pool.hot(packet_ref_slot(ref));
+    prefetch_read(h);
     nodes[count] = u;
     refs[count] = ref;
+    hotp[count] = h;
     ++count;
   }
   if (count == 0) return;
@@ -754,47 +800,43 @@ void NetworkSim::serve_word(unsigned w, std::size_t word_index, Cycle now,
   const std::uint64_t clean =
       !steer_ ? 0
               : (no_faults_ ? ~std::uint64_t{0} : overlay_.clean_window(base));
-  // Pass 2 (read-only): classify each front packet — arrived, steered
-  // fast path (no adopted plan, clean node, under the livelock guard), or
-  // "decide in full later" — and gather the fast path's (cur, dst) pairs
-  // for one tight batched table-lookup loop.
+  // Pass 2 (read-only): classify every front packet in SIMD lanes —
+  // arrived, steered fast path (no adopted plan, clean node, under the
+  // livelock guard), or "decide in full later" — then compact the fast
+  // lanes into (cur, dst) pairs for one tight batched table-lookup loop.
+  const ClassifyMasks cm = classify_front_packets(
+      simd_, count, hotp, nodes, base, clean, hop_limit_);
   std::uint32_t hints[64];
+  for (unsigned i = 0; i < count; ++i) hints[i] = kHintNone;
+  for (std::uint64_t bits = cm.arrived; bits != 0; bits &= bits - 1) {
+    const auto i = static_cast<unsigned>(std::countr_zero(bits));
+    hints[i] = kHintArrived;
+    // Delivery accounting reads the cold record (created, and src for
+    // the audited replay); start that line early.
+    prefetch_read(&shards_[packet_ref_shard(refs[i])].pool.cold(
+        packet_ref_slot(refs[i])));
+  }
   NodeId cur[64];
   NodeId dstv[64];
   unsigned fast_of[64];
   Dim hops[64];
   unsigned nfast = 0;
-  for (unsigned i = 0; i < count; ++i) {
-    const PacketHot& h = hot_of(refs[i]);
-    const NodeId u = nodes[i];
-    if (h.positional_arrival() ? u == h.dst : h.hops == h.plan_len) {
-      hints[i] = kHintArrived;
-      // Delivery accounting reads the cold record (created, and src for
-      // the audited replay); start that line early.
-      __builtin_prefetch(&shards_[packet_ref_shard(refs[i])].pool.cold(
-          packet_ref_slot(refs[i])));
-    } else if ((h.flags & (kPktSteered | kPktAdaptive | kPktHasPlan)) ==
-                   kPktSteered &&
-               ((clean >> (u - base)) & 1) != 0 && h.hops < hop_limit_) {
-      hints[i] = 0;  // placeholder until the batch lookup lands
-      cur[nfast] = u;
-      dstv[nfast] = h.dst;
-      fast_of[nfast] = i;
-      ++nfast;
-    } else {
-      hints[i] = kHintNone;
-    }
+  for (std::uint64_t bits = cm.fast; bits != 0; bits &= bits - 1) {
+    const auto i = static_cast<unsigned>(std::countr_zero(bits));
+    cur[nfast] = nodes[i];
+    dstv[nfast] = hotp[i]->dst;
+    fast_of[nfast] = i;
+    ++nfast;
   }
   if (nfast != 0) {
-    fabric_->fault_free_hops(nfast, cur, dstv, hops);
+    fabric_->fault_free_hops(simd_, nfast, cur, dstv, hops);
     for (unsigned i = 0; i < nfast; ++i) {
       hints[fast_of[i]] = hops[i];
       // The link-stamp store is the one remaining random access on the
       // fast path (node_count * dims words); its address is known the
       // moment the hop is — fetch it for write before the apply pass.
-      __builtin_prefetch(
-          &link_busy_[static_cast<std::size_t>(cur[i]) * dims_ + hops[i]],
-          1);
+      prefetch_write(
+          &link_busy_[static_cast<std::size_t>(cur[i]) * dims_ + hops[i]]);
     }
   }
   // Pass 3 (apply), strictly ascending node order: outbox push order is
@@ -817,7 +859,7 @@ void NetworkSim::serve_word(unsigned w, std::size_t word_index, Cycle now,
     Ring<PacketRef>& queue = queues_[u];
     if (retire && hint != kHintNone && queue.size() == 1) {
       const PacketRef ref = refs[i];
-      PacketHot& h = hot_of(ref);
+      PacketHot& h = *hotp[i];  // resolved once at harvest
       if (hint == kHintArrived) {
         if (h.audited()) {
           const PacketCold& c = cold_of(ref);
@@ -954,15 +996,26 @@ SimMetrics NetworkSim::run() {
     // Seed every node's first fire from a dedicated pre-run draw stream
     // (cycle key ~0 cannot collide with a real cycle). First fire at
     // gap - 1 so cycle 0 fires with the same probability as any other.
+    // The keys batch in SIMD lanes like the per-cycle fire buckets; the
+    // geometric gap draw itself stays scalar (libm log1p).
     for (Shard& sh : shards_) {
-      for (NodeId u = sh.begin; u < sh.end; ++u) {
-        if (!traffic_.eligible(u)) continue;
-        CounterRng rng(counter_key(config_.seed, u, ~Cycle{0}));
-        const std::uint64_t gap = traffic_.injection_gap(u, rng);
-        if (gap == TrafficModel::kNeverGap || gap - 1 >= total_cycles_) {
-          continue;
+      NodeId ids[64];
+      std::uint64_t keys[64];
+      for (NodeId blk = sh.begin; blk < sh.end; blk += 64) {
+        const auto cnt =
+            static_cast<unsigned>(std::min<NodeId>(64, sh.end - blk));
+        for (unsigned j = 0; j < cnt; ++j) ids[j] = blk + j;
+        counter_keys(simd_, config_.seed, ~Cycle{0}, ids, cnt, keys);
+        for (unsigned j = 0; j < cnt; ++j) {
+          const NodeId u = blk + j;
+          if (!traffic_.eligible(u)) continue;
+          CounterRng rng(keys[j]);
+          const std::uint64_t gap = traffic_.injection_gap(u, rng);
+          if (gap == TrafficModel::kNeverGap || gap - 1 >= total_cycles_) {
+            continue;
+          }
+          schedule_fire(sh, 0, gap - 1, u);
         }
-        schedule_fire(sh, 0, gap - 1, u);
       }
     }
   }

@@ -351,8 +351,11 @@ class NetworkSim {
   void admit_packet(unsigned w, NodeId u, NodeId dst, Cycle now,
                     bool measuring);
   /// Consumes a due injection fire at u: draws the destination, admits the
-  /// packet, and reschedules from the gap distribution.
-  void fire_injection(unsigned w, NodeId u, Cycle now, bool measuring);
+  /// packet, and reschedules from the gap distribution. `key` is
+  /// counter_key(seed, u, now) — precomputed so the fire bucket can batch
+  /// the keying in SIMD lanes.
+  void fire_injection(unsigned w, NodeId u, Cycle now, std::uint64_t key,
+                      bool measuring);
   /// First-packet hints precomputed by the batched pass for serve_node:
   /// either "already at its destination", or the usable fabric hop the
   /// batch lookup produced (any value below kHintArrived — dimensions are
@@ -417,6 +420,12 @@ class NetworkSim {
   /// environment (CI equivalence runs force the scalar scan process-wide).
   bool batch_ = false;
   bool timing_ = false;      // config_.phase_timing
+  /// Dispatch level for the vector kernels (classify, fabric batch lookup,
+  /// counter-RNG batches), snapshotted from simd_level() at construction
+  /// so the hot loops take a plain branch instead of an atomic load. All
+  /// levels produce bit-identical metrics (GCUBE_SIMD / --simd / the
+  /// determinism sweep select between them).
+  SimdLevel simd_ = SimdLevel::kScalar;
   /// True while the fault set is empty; refreshed at the serial points.
   /// Lets steering skip the per-node overlay loads entirely on fault-free
   /// runs (every node is trivially clean).

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "fault/fault_set.hpp"
 #include "util/bits.hpp"
@@ -60,6 +61,18 @@ class TrafficModel {
     return kNeverGap;
   }
 
+  /// When should_inject is exactly `rng.chance(rate)` for one fixed rate —
+  /// independent of node and cycle — returns that rate, licensing the
+  /// simulator to evaluate the injection predicate in SIMD batches (each
+  /// node's verdict from its own counter stream, bit-identical to calling
+  /// should_inject). nullopt (the default) keeps the per-node virtual
+  /// path; override ONLY if should_inject consumes exactly one draw and
+  /// matches chance(rate) bit-for-bit.
+  [[nodiscard]] virtual std::optional<double> bernoulli_rate()
+      const noexcept {
+    return std::nullopt;
+  }
+
   /// A nonfaulty destination different from src.
   [[nodiscard]] virtual NodeId pick_destination(NodeId src,
                                                 CounterRng& rng) const = 0;
@@ -81,6 +94,13 @@ class UniformTraffic : public TrafficModel {
   /// exact distribution of the Bernoulli scan, in one draw.
   [[nodiscard]] std::uint64_t injection_gap(NodeId u,
                                             CounterRng& rng) const override;
+  /// should_inject above is literally chance(rate_), so the batched
+  /// predicate applies (PatternTraffic inherits both, keeping the license
+  /// valid for every bundled pattern).
+  [[nodiscard]] std::optional<double> bernoulli_rate()
+      const noexcept override {
+    return rate_;
+  }
   [[nodiscard]] NodeId pick_destination(NodeId src,
                                         CounterRng& rng) const override;
   [[nodiscard]] bool eligible(NodeId u) const override;

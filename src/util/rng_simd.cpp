@@ -1,0 +1,255 @@
+// Vectorized counter-RNG kernels (see rng.hpp for the contracts).
+//
+// counter_key is three chained mix64 rounds; the first depends only on the
+// seed, so a batch over nodes at one cycle shares it and vectorizes the
+// remaining two. The Bernoulli scan adds one more mix64 (the stream's first
+// SplitMix64 step) and replaces uniform() < rate with the exact integer
+// comparison x >> 11 < ceil(rate * 2^53):
+//
+//   uniform() = (double)(x >> 11) * 2^-53 compares exactly — x >> 11 has at
+//   most 53 significant bits (exactly representable) and the 2^-53 scale is
+//   a pure exponent shift — so `uniform() < rate` holds iff the integer
+//   x >> 11 is below rate * 2^53, rounded up when fractional. No float ops
+//   remain in the vector loop, hence no reassociation hazards.
+//
+// All kernels fall back per-tail-element to the scalar expressions, and the
+// kScalar level runs the reference loop verbatim.
+#include "util/rng.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include <cmath>
+
+namespace gcube {
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;  // SplitMix64 step
+constexpr std::uint64_t kNodeSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kCycleSalt = 0x94d049bb133111ebULL;
+
+/// Integer threshold T such that uniform() < rate iff (x >> 11) < T.
+std::uint64_t bernoulli_threshold(double rate) noexcept {
+  const double scaled = std::ldexp(rate, 53);  // exact: exponent shift only
+  if (!(scaled > 0.0)) return 0;               // rate <= 0 or NaN: never
+  if (scaled >= 0x1.0p53) return std::uint64_t{1} << 53;  // rate >= 1: always
+  return static_cast<std::uint64_t>(std::ceil(scaled));
+}
+
+void counter_keys_scalar(std::uint64_t seed, std::uint64_t cycle,
+                         const std::uint32_t* nodes, std::size_t count,
+                         std::uint64_t* keys) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    keys[i] = counter_key(seed, nodes[i], cycle);
+  }
+}
+
+std::uint64_t bernoulli_mask_scalar(std::uint64_t seed, std::uint64_t cycle,
+                                    std::uint32_t base, unsigned count,
+                                    double rate) noexcept {
+  std::uint64_t mask = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    CounterRng rng(counter_key(seed, base + i, cycle));
+    if (rng.chance(rate)) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+#if defined(__x86_64__)
+
+// ---- AVX2: four 64-bit lanes ----------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i mullo64_avx2(
+    __m256i a, __m256i b) noexcept {
+  // 64x64 -> low 64 from 32x32 partial products (no vpmullq below AVX-512).
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i mix64_avx2(
+    __m256i z) noexcept {
+  z = mullo64_avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+                   _mm256_set1_epi64x(static_cast<long long>(kNodeSalt)));
+  z = mullo64_avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+                   _mm256_set1_epi64x(static_cast<long long>(kCycleSalt)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// counter_key for 4 nodes: the seed round is precomputed (k0), the node
+/// and cycle rounds run on 64-bit lanes.
+__attribute__((target("avx2"))) inline __m256i counter_keys4_avx2(
+    std::uint64_t k0, __m256i node64, __m256i cycle_salted) noexcept {
+  const __m256i k0v = _mm256_set1_epi64x(static_cast<long long>(k0));
+  const __m256i salted =
+      _mm256_add_epi64(node64,
+                       _mm256_set1_epi64x(static_cast<long long>(kNodeSalt)));
+  __m256i k = mix64_avx2(_mm256_xor_si256(k0v, salted));
+  return mix64_avx2(_mm256_xor_si256(k, cycle_salted));
+}
+
+__attribute__((target("avx2"))) void counter_keys_avx2(
+    std::uint64_t seed, std::uint64_t cycle, const std::uint32_t* nodes,
+    std::size_t count, std::uint64_t* keys) noexcept {
+  const std::uint64_t k0 = mix64(seed + kGamma);
+  const __m256i cyc = _mm256_set1_epi64x(
+      static_cast<long long>(cycle + kCycleSalt));
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i n64 = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i),
+                        counter_keys4_avx2(k0, n64, cyc));
+  }
+  for (; i < count; ++i) keys[i] = counter_key(seed, nodes[i], cycle);
+}
+
+__attribute__((target("avx2"))) std::uint64_t bernoulli_mask_avx2(
+    std::uint64_t seed, std::uint64_t cycle, std::uint32_t base,
+    unsigned count, double rate) noexcept {
+  const std::uint64_t threshold = bernoulli_threshold(rate);
+  const std::uint64_t k0 = mix64(seed + kGamma);
+  const __m256i cyc = _mm256_set1_epi64x(
+      static_cast<long long>(cycle + kCycleSalt));
+  const __m256i thr = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  const __m256i gamma = _mm256_set1_epi64x(static_cast<long long>(kGamma));
+  std::uint64_t mask = 0;
+  unsigned i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i n64 = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(base + i)),
+        _mm256_setr_epi64x(0, 1, 2, 3));
+    const __m256i key = counter_keys4_avx2(k0, n64, cyc);
+    // First SplitMix64 draw, then the exact integer Bernoulli compare.
+    const __m256i draw = mix64_avx2(_mm256_add_epi64(key, gamma));
+    const __m256i x = _mm256_srli_epi64(draw, 11);
+    // Both sides < 2^54, so the signed 64-bit compare is safe.
+    const __m256i hit = _mm256_cmpgt_epi64(thr, x);
+    const auto bits = static_cast<std::uint64_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(hit)));
+    mask |= bits << i;
+  }
+  for (; i < count; ++i) {
+    CounterRng rng(counter_key(seed, base + i, cycle));
+    if (rng.chance(rate)) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+// ---- SSE4.2: two 64-bit lanes ---------------------------------------------
+
+__attribute__((target("sse4.2"))) inline __m128i mullo64_sse(
+    __m128i a, __m128i b) noexcept {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross = _mm_add_epi64(
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+      _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+__attribute__((target("sse4.2"))) inline __m128i mix64_sse(
+    __m128i z) noexcept {
+  z = mullo64_sse(_mm_xor_si128(z, _mm_srli_epi64(z, 30)),
+                  _mm_set1_epi64x(static_cast<long long>(kNodeSalt)));
+  z = mullo64_sse(_mm_xor_si128(z, _mm_srli_epi64(z, 27)),
+                  _mm_set1_epi64x(static_cast<long long>(kCycleSalt)));
+  return _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+}
+
+__attribute__((target("sse4.2"))) inline __m128i counter_keys2_sse(
+    std::uint64_t k0, __m128i node64, __m128i cycle_salted) noexcept {
+  const __m128i k0v = _mm_set1_epi64x(static_cast<long long>(k0));
+  const __m128i salted = _mm_add_epi64(
+      node64, _mm_set1_epi64x(static_cast<long long>(kNodeSalt)));
+  __m128i k = mix64_sse(_mm_xor_si128(k0v, salted));
+  return mix64_sse(_mm_xor_si128(k, cycle_salted));
+}
+
+__attribute__((target("sse4.2"))) void counter_keys_sse(
+    std::uint64_t seed, std::uint64_t cycle, const std::uint32_t* nodes,
+    std::size_t count, std::uint64_t* keys) noexcept {
+  const std::uint64_t k0 = mix64(seed + kGamma);
+  const __m128i cyc =
+      _mm_set1_epi64x(static_cast<long long>(cycle + kCycleSalt));
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128i n64 = _mm_cvtepu32_epi64(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(nodes + i)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(keys + i),
+                     counter_keys2_sse(k0, n64, cyc));
+  }
+  for (; i < count; ++i) keys[i] = counter_key(seed, nodes[i], cycle);
+}
+
+__attribute__((target("sse4.2"))) std::uint64_t bernoulli_mask_sse(
+    std::uint64_t seed, std::uint64_t cycle, std::uint32_t base,
+    unsigned count, double rate) noexcept {
+  const std::uint64_t threshold = bernoulli_threshold(rate);
+  const std::uint64_t k0 = mix64(seed + kGamma);
+  const __m128i cyc =
+      _mm_set1_epi64x(static_cast<long long>(cycle + kCycleSalt));
+  const __m128i thr = _mm_set1_epi64x(static_cast<long long>(threshold));
+  const __m128i gamma = _mm_set1_epi64x(static_cast<long long>(kGamma));
+  std::uint64_t mask = 0;
+  unsigned i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128i n64 =
+        _mm_add_epi64(_mm_set1_epi64x(static_cast<long long>(base + i)),
+                      _mm_set_epi64x(1, 0));
+    const __m128i key = counter_keys2_sse(k0, n64, cyc);
+    const __m128i draw = mix64_sse(_mm_add_epi64(key, gamma));
+    const __m128i x = _mm_srli_epi64(draw, 11);
+    const __m128i hit = _mm_cmpgt_epi64(thr, x);  // SSE4.2 pcmpgtq
+    const auto bits = static_cast<std::uint64_t>(
+        _mm_movemask_pd(_mm_castsi128_pd(hit)));
+    mask |= bits << i;
+  }
+  for (; i < count; ++i) {
+    CounterRng rng(counter_key(seed, base + i, cycle));
+    if (rng.chance(rate)) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+void counter_keys(SimdLevel level, std::uint64_t seed, std::uint64_t cycle,
+                  const std::uint32_t* nodes, std::size_t count,
+                  std::uint64_t* keys) noexcept {
+#if defined(__x86_64__)
+  if (level >= SimdLevel::kAvx2) {
+    counter_keys_avx2(seed, cycle, nodes, count, keys);
+    return;
+  }
+  if (level >= SimdLevel::kSse) {
+    counter_keys_sse(seed, cycle, nodes, count, keys);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  counter_keys_scalar(seed, cycle, nodes, count, keys);
+}
+
+std::uint64_t counter_bernoulli_mask(SimdLevel level, std::uint64_t seed,
+                                     std::uint64_t cycle, std::uint32_t base,
+                                     unsigned count, double rate) noexcept {
+#if defined(__x86_64__)
+  if (level >= SimdLevel::kAvx2) {
+    return bernoulli_mask_avx2(seed, cycle, base, count, rate);
+  }
+  if (level >= SimdLevel::kSse) {
+    return bernoulli_mask_sse(seed, cycle, base, count, rate);
+  }
+#else
+  (void)level;
+#endif
+  return bernoulli_mask_scalar(seed, cycle, base, count, rate);
+}
+
+}  // namespace gcube

@@ -75,6 +75,21 @@ def good_report():
     }
 
 
+def good_v4_report():
+    """Schema-4 report: simd + timed_seconds per cell, float serialization,
+    and a _simd_scalar twin of the headline cell."""
+    r = good_report()
+    r["schema_version"] = 4
+    twin = cell("gc10x4_ftgcr_static_simd_scalar", seconds=0.6)
+    r["cells"].append(twin)
+    r["cells"][0]["speedup_vs_simd_scalar"] = 0.6 / 0.5
+    for c in r["cells"]:
+        c["simd"] = "avx2"
+        c["timed_seconds"] = c["seconds"] * 1.1
+    twin["simd"] = "scalar"
+    return r
+
+
 def run_checker(report, *flags):
     """Returns (exit_code, stderr) of the checker on `report` (dict or
     raw string)."""
@@ -191,6 +206,59 @@ def main():
     for c in r["cells"]:
         del c["phase_breakdown"]
     expect("schema-2 report without phase_breakdown passes", r)
+
+    # schema 4: simd level, timed_seconds, float-typed cycles_per_sec,
+    # phase-sum budget, and the _simd_scalar twin pairing.
+    expect("well-formed v4 report passes", good_v4_report())
+
+    r = good_v4_report()
+    r["cells"][0]["cycles_per_sec"] = int(r["cells"][0]["cycles_per_sec"])
+    expect("int-typed cycles_per_sec rejected", r, ok=False,
+           message="float")
+
+    r = good_v4_report()
+    r["cells"][0]["cycles_per_sec"] = 4300 / 0.5 * 3  # wrong denominator
+    expect("cycles_per_sec inconsistent with seconds rejected", r, ok=False,
+           message="inconsistent")
+
+    r = good_v4_report()
+    del r["cells"][1]["timed_seconds"]
+    expect("v4 cell without timed_seconds rejected", r, ok=False,
+           message="timed_seconds")
+
+    r = good_v4_report()
+    r["cells"][0]["simd"] = "avx512"
+    expect("unknown simd level rejected", r, ok=False, message="simd")
+
+    # cell() carries ~20.1 ms of phase time; 12 ms of timed_seconds only
+    # covers that inside a 2-worker budget.
+    r = good_v4_report()
+    r["cells"][0]["timed_seconds"] = 0.012
+    expect("phase sum beyond timed_seconds rejected", r, ok=False,
+           message="budget")
+    r = good_v4_report()
+    r["cells"][1]["timed_seconds"] = 0.012  # threads=2 cell
+    expect("multi-thread phase sum within worker budget passes", r)
+
+    r = good_v4_report()
+    del r["cells"][0]["speedup_vs_simd_scalar"]
+    expect("simd twin without attribution ratio rejected", r, ok=False,
+           message="speedup_vs_simd_scalar")
+
+    r = good_v4_report()
+    r["cells"][3]["simd"] = "avx2"  # the twin must actually run scalar
+    expect("simd twin not pinned scalar rejected", r, ok=False,
+           message="not 'scalar'")
+
+    r = good_v4_report()
+    r["cells"][3]["delivered"] -= 5
+    r["cells"][3]["total_hops"] = r["cells"][3]["delivered"] * 8
+    r["cells"][3]["packets_per_sec"] = \
+        r["cells"][3]["delivered"] / r["cells"][3]["seconds"]
+    r["cells"][3]["hops_per_sec"] = \
+        r["cells"][3]["total_hops"] / r["cells"][3]["seconds"]
+    expect("simd twin counter drift rejected", r, ok=False,
+           message="SIMD dispatch determinism")
 
     if FAILURES:
         print("check_bench_json_test: FAIL", file=sys.stderr)

@@ -18,7 +18,11 @@
 // The BatchedAdvanceEqualsScalar* cases additionally pin the batched
 // word-at-a-time advance to the scalar per-node scan bit-for-bit, across
 // steered and planned traffic, static and scheduled faults, finite
-// buffers, and thread counts {1, 2, 4}.
+// buffers, and thread counts {1, 2, 4}. The SimdLevelsEqualScalar* cases
+// sweep every SIMD dispatch level the CPU supports (scalar, SSE4.2, AVX2)
+// against the scalar threads=1 reference over the same axes — the
+// vectorized classify / fabric-lookup / counter-RNG kernels batch pure
+// integer functions, so every level must reproduce the metrics exactly.
 //
 // Cache counters (SimMetrics::plan_cache / hop_cache) are deliberately NOT
 // compared: the hit/miss split depends on which worker reaches a cold key
@@ -33,6 +37,7 @@
 #include "sim/metrics.hpp"
 #include "sim/runner.hpp"
 #include "topology/gaussian_cube.hpp"
+#include "util/simd.hpp"
 
 namespace gcube {
 namespace {
@@ -116,6 +121,60 @@ void expect_batch_invariant(GcSimSpec spec, const std::string& label) {
       expect_identical(off.metrics, scalar.metrics,
                        label + " scalar threads=" + std::to_string(threads) +
                            " vs scalar threads=1");
+    }
+  }
+}
+
+/// Pins the process-wide SIMD dispatch level for one scope and restores
+/// the entry level on exit, so a failing cell cannot poison later tests.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prior_(simd_level()) {
+    set_simd_level(level);
+  }
+  ~ScopedSimdLevel() { set_simd_level(prior_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel prior_;
+};
+
+/// Every dispatch level this CPU can actually run. Levels above the
+/// detected one are excluded rather than requested: set_simd_level would
+/// clamp them, silently re-testing kernels already covered.
+std::vector<SimdLevel> simd_matrix() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (detected_simd_level() >= SimdLevel::kSse) {
+    levels.push_back(SimdLevel::kSse);
+  }
+  if (detected_simd_level() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+/// The SIMD kernels (classify, fabric lookup, counter-RNG batch) must be
+/// BIT-IDENTICAL to the scalar reference at every dispatch level and
+/// thread count: they batch pure integer functions, so vectorization may
+/// reorder reads but never change a decision. One scalar threads=1
+/// reference, then every available level × {1, 2, 4} threads against it.
+void expect_simd_invariant(GcSimSpec spec, const std::string& label) {
+  spec.sim.threads = 1;
+  GcSimOutcome reference;
+  {
+    ScopedSimdLevel pin(SimdLevel::kScalar);
+    reference = run_gc_simulation(spec);
+  }
+  ASSERT_GT(reference.metrics.generated, 0u) << label << ": inert workload";
+  for (const SimdLevel level : simd_matrix()) {
+    ScopedSimdLevel pin(level);
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      spec.sim.threads = threads;
+      const GcSimOutcome outcome = run_gc_simulation(spec);
+      expect_identical(outcome.metrics, reference.metrics,
+                       label + " simd=" + to_string(level) + " threads=" +
+                           std::to_string(threads) + " vs scalar threads=1");
     }
   }
 }
@@ -270,6 +329,46 @@ TEST(Determinism, BatchedAdvanceEqualsScalarFiniteBuffers) {
   spec.sim.injection_rate = 0.20;
   spec.sim.buffer_limit = 3;
   expect_batch_invariant(spec, "GC(8,2) finite buffers");
+}
+
+TEST(Determinism, SimdLevelsEqualScalarSteeredStatic) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  expect_simd_invariant(spec, "GC(8,2) steered static");
+}
+
+TEST(Determinism, SimdLevelsEqualScalarSteeredScheduled) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.schedule = scheduled_faults(spec);
+  expect_simd_invariant(spec, "GC(8,2) steered scheduled");
+}
+
+TEST(Determinism, SimdLevelsEqualScalarPlannedStatic) {
+  // fabric off = plan-at-injection packets: the vector classify sees no
+  // steered fast path, so this cell pins the arrival-predicate lanes and
+  // the batched injection keying instead of the gathered table lookups.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  spec.sim.fabric = false;
+  expect_simd_invariant(spec, "GC(8,2) planned static");
+}
+
+TEST(Determinism, SimdLevelsEqualScalarPlannedScheduled) {
+  GcSimSpec spec = base_spec(8, 2);
+  spec.schedule = scheduled_faults(spec);
+  spec.sim.fabric = false;
+  expect_simd_invariant(spec, "GC(8,2) planned scheduled");
+}
+
+TEST(Determinism, SimdLevelsEqualScalarBernoulliScan) {
+  // active_set off is the one mode whose injection predicate runs through
+  // counter_bernoulli_mask every cycle (the active-set loop only keys
+  // batches); the mask-then-filter scan must reproduce the per-node
+  // virtual calls draw for draw.
+  GcSimSpec spec = base_spec(8, 2);
+  spec.faulty_nodes = 5;
+  spec.sim.active_set = false;
+  expect_simd_invariant(spec, "GC(8,2) bernoulli scan");
 }
 
 TEST(Determinism, RepeatedRunsOfOneSimulatorAgree) {

@@ -17,6 +17,7 @@
 #include "sim/sweep.hpp"
 #include "sim/traffic.hpp"
 #include "topology/gaussian_cube.hpp"
+#include "util/simd.hpp"
 
 namespace gcube {
 namespace {
@@ -373,6 +374,38 @@ TEST(NetworkSim, AuditedReplayHoldsWhenSteeredPacketsReroute) {
   const SimMetrics m = NetworkSim(gc, router, faults, cfg, schedule).run();
   EXPECT_GT(m.delivered, 500u) << "audited samples must reach delivery";
   EXPECT_GT(m.reroutes, 0u) << "faults must deflect steered packets";
+}
+
+TEST(NetworkSim, AuditedReplayRidesEverySimdLevel) {
+  // The delivery replay (a GCUBE_REQUIRE on every audited packet's
+  // recorded path) must hold when the vector classify and gathered
+  // fault-free-hop lookups drive the advance — at every dispatch level
+  // the CPU supports, not just the default. Each level runs the same
+  // rerouting workload as the replay test above and must reproduce the
+  // scalar metrics bit for bit.
+  const GaussianCube gc(7, 2);
+  const FaultSchedule schedule =
+      FaultSchedule::random_node_faults(gc.node_count(), 0.01, 350, 21, 12);
+  SimConfig cfg = quick_config();
+  cfg.injection_rate = 0.08;
+  const SimdLevel entry = simd_level();
+  set_simd_level(SimdLevel::kScalar);
+  FaultSet faults_ref;
+  const FtgcrRouter router_ref(gc, faults_ref);
+  const SimMetrics reference =
+      NetworkSim(gc, router_ref, faults_ref, cfg, schedule).run();
+  EXPECT_GT(reference.delivered, 500u) << "audited samples must deliver";
+  EXPECT_GT(reference.reroutes, 0u) << "faults must deflect packets";
+  for (const SimdLevel level : {SimdLevel::kSse, SimdLevel::kAvx2}) {
+    if (level > detected_simd_level()) continue;
+    set_simd_level(level);
+    FaultSet faults;
+    const FtgcrRouter router(gc, faults);
+    const SimMetrics m = NetworkSim(gc, router, faults, cfg, schedule).run();
+    EXPECT_TRUE(m.deterministic_equals(reference))
+        << "simd=" << to_string(level);
+  }
+  set_simd_level(entry);
 }
 
 TEST(NetworkSim, AuditSamplingAndBatchingLeaveMetricsUnchanged) {
