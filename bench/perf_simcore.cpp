@@ -204,9 +204,33 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
                 bool quick) {
   std::ofstream out(path);
   GCUBE_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  // Schema 5: a top-level provenance block — the same identifying tuple
+  // the checkpoint header carries (seed, topology, router, simd, threads,
+  // schema version, build type) — so a report is attributable to the run
+  // that produced it without consulting the harness source. Topology /
+  // router / simd / threads describe the headline cell.
+  const CellResult* headline = &cells.front();
+  for (const CellResult& c : cells) {
+    if (c.spec.headline) headline = &c;
+  }
+#ifdef NDEBUG
+  const char* build_type = "optimized";
+#else
+  const char* build_type = "debug";
+#endif
   out << "{\n"
       << "  \"bench\": \"perf_simcore\",\n"
-      << "  \"schema_version\": 4,\n"
+      << "  \"schema_version\": 5,\n"
+      << "  \"provenance\": {\n"
+      << "    \"seed\": 4242,\n"
+      << "    \"topology\": \"GC(" << headline->spec.n << ", "
+      << headline->spec.modulus << ")\",\n"
+      << "    \"router\": \"" << headline->spec.router << "\",\n"
+      << "    \"simd\": \"" << to_string(headline->simd) << "\",\n"
+      << "    \"threads\": " << headline->spec.threads << ",\n"
+      << "    \"schema_version\": 5,\n"
+      << "    \"build_type\": \"" << build_type << "\"\n"
+      << "  },\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"baseline\": {\n"
       << "    \"label\": \"pre-PR (PR 7, SoA lanes, scalar kernels)\",\n"

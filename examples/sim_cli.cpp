@@ -23,6 +23,18 @@
 //   $ ./sim_cli --n 9 --fault-rate 0.002 --fault-repair 250
 //               --retry-limit 8 --retry-budget 4    (one command line)
 //   $ ./sim_cli --n 9 --flap-links 16 --mttf 300 --mttr 60 --retry-limit 8
+//
+// Checkpoint / crash recovery (see sim/checkpoint.hpp for guarantees):
+//
+//   $ ./sim_cli --n 8 --checkpoint-every 500 --checkpoint-path run.ckpt
+//   $ ./sim_cli --n 8 --resume run.ckpt            # same other flags!
+//   $ ./sim_cli --n 8 --checkpoint-every 500 --checkpoint-path run.ckpt
+//               --crash-at-cycle 1234 (one line)   # hard _exit(137) mid-run
+//
+// SIGINT/SIGTERM finish the current cycle, write a final checkpoint (when
+// --checkpoint-path is set) plus the metrics summary, and exit 130.
+#include <atomic>
+#include <csignal>
 #include <iostream>
 #include <string>
 
@@ -55,6 +67,16 @@ gcube::SimRouterKind parse_router(const std::string& name) {
                               "' (auto|ffgcr|ftgcr|ecube)");
 }
 
+/// SIGINT/SIGTERM flag, polled by the simulator at every serial point.
+/// The handler only stores to an atomic (async-signal-safe); the graceful
+/// work — finishing the cycle, the final checkpoint, the summary — all
+/// happens on the normal control path.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,7 +89,8 @@ int main(int argc, char** argv) {
                 "mttf", "mttr", "retry-limit", "retry-backoff",
                 "retry-budget", "retransmit-timeout", "threads",
                 "oversubscribe", "no-fabric", "no-active-set", "no-batch",
-                "simd", "help"});
+                "simd", "checkpoint-every", "checkpoint-path", "resume",
+                "crash-at-cycle", "help"});
     if (args.get_bool("help")) {
       std::cout
           << "usage: sim_cli [--n N] [--modulus M] [--rate R] [--cycles C]\n"
@@ -82,6 +105,8 @@ int main(int argc, char** argv) {
           << "               [--threads T] [--oversubscribe]\n"
           << "               [--no-fabric] [--no-active-set] [--no-batch]\n"
           << "               [--simd scalar|sse|avx2]\n"
+          << "               [--checkpoint-every N] [--checkpoint-path F]\n"
+          << "               [--resume F] [--crash-at-cycle N]\n"
           << "--fault-schedule/--fault-rate enable dynamic-fault mode:\n"
           << "scheduled events mutate the network mid-run and packets\n"
           << "re-route per hop around faults discovered en route.\n"
@@ -109,7 +134,16 @@ int main(int argc, char** argv) {
           << "the CPU supports; requests above it are clamped). Metrics\n"
           << "are bit-identical at every level — escape hatch for A/B\n"
           << "timing and equivalence checks, like --no-batch;\n"
-          << "GCUBE_SIMD=scalar|sse|avx2 does the same for any binary.\n";
+          << "GCUBE_SIMD=scalar|sse|avx2 does the same for any binary.\n"
+          << "--checkpoint-path F: save the full run state to F (atomic\n"
+          << "write, previous generation kept as F.1); --checkpoint-every\n"
+          << "N writes it entering every Nth cycle, and a SIGINT/SIGTERM\n"
+          << "halt writes a final one. --resume F continues a run from a\n"
+          << "checkpoint (same simulation flags required; --threads and\n"
+          << "--simd may differ — final metrics are bit-identical to the\n"
+          << "uninterrupted run). --crash-at-cycle N (or the\n"
+          << "GCUBE_CRASH_AT_CYCLE env var) hard-exits with status 137\n"
+          << "mid-run to exercise crash recovery.\n";
       return 0;
     }
     if (args.has("simd")) {
@@ -160,6 +194,15 @@ int main(int argc, char** argv) {
     spec.sim.fabric = !args.get_bool("no-fabric");
     spec.sim.active_set = !args.get_bool("no-active-set");
     spec.sim.batch = !args.get_bool("no-batch");
+    spec.sim.checkpoint_every =
+        static_cast<Cycle>(args.get_int("checkpoint-every", 0));
+    spec.sim.checkpoint_path = args.get_string("checkpoint-path", "");
+    spec.sim.resume_from = args.get_string("resume", "");
+    spec.sim.crash_at_cycle =
+        static_cast<Cycle>(args.get_int("crash-at-cycle", 0));
+    spec.sim.stop_requested = &g_stop_requested;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
 
     const GcSimOutcome outcome = run_gc_simulation(spec);
     const SimMetrics& m = outcome.metrics;
@@ -201,6 +244,10 @@ int main(int argc, char** argv) {
     table.add_row({"injections blocked", std::to_string(m.injections_blocked)});
     table.add_row({"stalled cycles", std::to_string(m.stalled_cycles)});
     table.add_row({"deadlocked", m.deadlocked ? "YES" : "no"});
+    if (m.interrupted_at != 0) {
+      table.add_row({"interrupted at cycle (partial metrics)",
+                     std::to_string(m.interrupted_at)});
+    }
     table.add_row({"threads (0 = auto)", std::to_string(spec.sim.threads)});
     table.add_row({"route cache hit rate",
                    fmt_double(m.plan_cache.hit_rate(), 4) + " (" +
@@ -213,6 +260,17 @@ int main(int argc, char** argv) {
                        std::to_string(m.hop_cache.lookups()) + ", stale " +
                        std::to_string(m.hop_cache.stale) + ")"});
     table.print(std::cout);
+    if (m.interrupted_at != 0) {
+      // Graceful signal halt: the final checkpoint (when --checkpoint-path
+      // was given) and the summary above are already out; exit with the
+      // conventional interrupted-by-SIGINT status.
+      if (!spec.sim.checkpoint_path.empty()) {
+        std::cerr << "sim_cli: interrupted at cycle "
+                  << m.interrupted_at << "; resume with --resume "
+                  << spec.sim.checkpoint_path << "\n";
+      }
+      return 130;
+    }
     return m.deadlocked ? 3 : 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

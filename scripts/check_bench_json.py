@@ -39,6 +39,15 @@ Schema version 4 adds "simd" (the dispatch level the cell's kernels ran
 at), "timed_seconds" (wall time of the one instrumented pass that
 produced phase_breakdown), and serializes every floating-point field as a
 float — cycles_per_sec used to flip between int and float across cells.
+
+Schema version 5 adds a top-level "provenance" object — the same
+identifying tuple the simulator's checkpoint header carries (seed,
+topology, router, simd, threads, schema_version, build_type) — so a
+report is attributable to the run that produced it. Version-5 reports
+must carry every provenance field, its simd level must be a known
+dispatch level, its schema_version must match the top-level one, and its
+build_type must be "optimized" or "debug". Version-4 reports remain
+accepted without it.
 Version-4 reports are additionally checked for: cycles_per_sec being an
 actual float consistent with (warmup + measure) / seconds, the
 phase_breakdown components summing to at most threads * timed_seconds
@@ -154,11 +163,46 @@ def check_cell(cell, require_phases=False, require_v4=False):
              f"delivered/seconds = {expect_pps:.0f}")
 
 
+PROVENANCE_FIELDS = (
+    "seed", "topology", "router", "simd", "threads", "schema_version",
+    "build_type",
+)
+
+BUILD_TYPES = ("optimized", "debug")
+
+
+def check_provenance(report):
+    prov = report.get("provenance")
+    if not isinstance(prov, dict):
+        fail("schema_version >= 5 requires a provenance object")
+    for field in PROVENANCE_FIELDS:
+        if field not in prov:
+            fail(f"provenance: missing field '{field}'")
+    if not isinstance(prov["seed"], int) or prov["seed"] < 0:
+        fail(f"provenance: seed {prov['seed']!r} must be a nonnegative int")
+    for field in ("topology", "router"):
+        if not isinstance(prov[field], str) or not prov[field]:
+            fail(f"provenance: {field} must be a nonempty string")
+    if prov["simd"] not in SIMD_LEVELS:
+        fail(f"provenance: simd {prov['simd']!r} not one of {SIMD_LEVELS}")
+    if not isinstance(prov["threads"], int) or prov["threads"] < 1:
+        fail(f"provenance: threads {prov['threads']!r} must be a positive "
+             "int")
+    if prov["schema_version"] != report.get("schema_version"):
+        fail(f"provenance: schema_version {prov['schema_version']!r} "
+             f"disagrees with the report's {report.get('schema_version')!r}")
+    if prov["build_type"] not in BUILD_TYPES:
+        fail(f"provenance: build_type {prov['build_type']!r} not one of "
+             f"{BUILD_TYPES}")
+
+
 def check_perf_simcore(report, min_scaling=None, min_throughput_ratio=None):
     if report.get("schema_version", 0) < 2:
         fail(f"schema_version {report.get('schema_version')!r} < 2")
     require_phases = report.get("schema_version", 0) >= 3
     require_v4 = report.get("schema_version", 0) >= 4
+    if report.get("schema_version", 0) >= 5:
+        check_provenance(report)
 
     baseline = report.get("baseline")
     if not isinstance(baseline, dict):

@@ -41,6 +41,13 @@ class LatencyHistogram {
   /// is independent of shard count).
   void merge(const LatencyHistogram& o) noexcept;
 
+  /// Checkpoint restore: adds `count` deliveries straight into bucket i
+  /// without replaying individual records.
+  void add_bucket(std::size_t i, std::uint64_t count) {
+    counts_.at(i) += count;
+    total_ += count;
+  }
+
   friend bool operator==(const LatencyHistogram&,
                          const LatencyHistogram&) = default;
 
@@ -95,6 +102,14 @@ struct SimMetrics {
   /// orphaned_by_node_fault + gave_up + in_flight_at_end, exact when
   /// warmup_cycles == 0. Serial field (set once after the cycle loop).
   std::uint64_t in_flight_at_end = 0;
+  /// Nonzero when the run stopped early at a graceful-halt request (SIGINT
+  /// via SimConfig::stop_requested, or halt_at_cycle): the cycle the loop
+  /// would have entered next — i.e. the resume point of the checkpoint
+  /// written on the way out. Serial field (set once, at the halt); not a
+  /// simulation result, so EXCLUDED from absorb() and
+  /// deterministic_equals() — a resumed run completes with 0 here while
+  /// matching the uninterrupted run on every deterministic field.
+  Cycle interrupted_at = 0;
   LatencyHistogram latency_histogram;
   /// Wall-clock attribution of the cycle loop, nanoseconds summed across
   /// workers (so a phase's share of the per-worker totals, not of elapsed

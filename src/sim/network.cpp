@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -990,9 +991,22 @@ SimMetrics NetworkSim::run() {
   }
   configure_shards(shard_count);
   total_cycles_ = config_.warmup_cycles + config_.measure_cycles;
+  // Crash-fault injection cycle: the environment override wins so the CI
+  // harness can crash an unmodified invocation.
+  crash_at_ = config_.crash_at_cycle;
+  if (const char* env = std::getenv("GCUBE_CRASH_AT_CYCLE")) {
+    crash_at_ = std::strtoull(env, nullptr, 10);
+  }
+  Cycle start = 0;
+  if (!config_.resume_from.empty()) {
+    const SimCheckpoint ck =
+        load_checkpoint_with_fallback(config_.resume_from);
+    apply_checkpoint(ck);
+    start = ck.resume_cycle;
+  }
   overlay_.refresh(faults_);
   no_faults_ = faults_.empty();
-  if (active_set_) {
+  if (active_set_ && start == 0) {
     // Seed every node's first fire from a dedicated pre-run draw stream
     // (cycle key ~0 cannot collide with a real cycle). First fire at
     // gap - 1 so cycle 0 fires with the same probability as any other.
@@ -1039,10 +1053,14 @@ SimMetrics NetworkSim::run() {
   consecutive_stalls_ = 0;
   cache_base_ = RouterCacheStats{};
   cache_base_set_ = false;
-  cycle_prework(0);  // cycle 0's fault events / wakes, serially pre-dispatch
-  const std::function<void(unsigned)> job = [this](unsigned w) {
+  // The start cycle's fault events / wakes, serially pre-dispatch. On a
+  // resume this re-runs exactly the prework the interrupted run performed
+  // AFTER its capture point (capture precedes cycle_prework(next) in the
+  // serial section), so the worlds re-converge bit for bit.
+  cycle_prework(start);
+  const std::function<void(unsigned)> job = [this, start](unsigned w) {
     Shard& sh = shards_[w];
-    for (Cycle now = 0;; ++now) {
+    for (Cycle now = start;; ++now) {
       const bool measuring = now >= config_.warmup_cycles;
       try {
         phase_inject(w, now, measuring);
@@ -1159,7 +1177,37 @@ void NetworkSim::serial_commit(Cycle now) noexcept {
       consecutive_stalls_ = 0;
     }
     const Cycle next = now + 1;
-    if (next >= config_.warmup_cycles + config_.measure_cycles) {
+    const bool done = next >= config_.warmup_cycles + config_.measure_cycles;
+    // Graceful halt: an external stop request (sim_cli's SIGINT/SIGTERM
+    // flag) or the deterministic halt_at_cycle test knob, honored here so
+    // the cycle just finished is committed cleanly. Checked BEFORE the
+    // checkpoint decision so the halt's final checkpoint is written.
+    const bool halt =
+        !done &&
+        ((config_.stop_requested != nullptr &&
+          config_.stop_requested->load(std::memory_order_relaxed)) ||
+         (config_.halt_at_cycle != 0 && next == config_.halt_at_cycle));
+    if (!config_.checkpoint_path.empty() &&
+        (halt || (config_.checkpoint_every != 0 && !done &&
+                  next % config_.checkpoint_every == 0))) {
+      // This is the one serial point where the whole simulation is
+      // quiescent: every ring drained or parity-idle, every shard partial
+      // visible. A save failure lands in serial_error_ via the enclosing
+      // catch — checkpointing must never corrupt the run it protects.
+      save_checkpoint(capture_checkpoint(next), config_.checkpoint_path);
+    }
+    if (crash_at_ != 0 && next == crash_at_) {
+      // Crash-fault injection: die like a kill -9 — no unwinding, no
+      // stream flushing, mid-run. Any checkpoint due at this same point
+      // was already made durable (fsync + rename) above.
+      std::_Exit(137);
+    }
+    if (halt) {
+      metrics_.interrupted_at = next;
+      stop_run_ = true;
+      return;
+    }
+    if (done) {
       stop_run_ = true;
       return;
     }
@@ -1168,6 +1216,352 @@ void NetworkSim::serial_commit(Cycle now) noexcept {
     serial_error_ = std::current_exception();
     stop_run_ = true;
   }
+}
+
+CheckpointPacket NetworkSim::capture_packet(PacketRef ref) {
+  const PacketHot& h = hot_of(ref);
+  const PacketCold& c = cold_of(ref);
+  CheckpointPacket p;
+  p.dst = h.dst;
+  p.hops = h.hops;
+  p.plan_len = h.plan_len;
+  p.flags = h.flags;
+  p.id = c.id;
+  p.src = c.src;
+  p.created = c.created;
+  p.steer_next = c.steer_next;
+  p.retry_attempts = c.retry_attempts;
+  p.retransmits_used = c.retransmits_used;
+  if (c.plan != nullptr) {  // kPktHasPlan mirrors this by invariant
+    p.plan_src = c.plan->source();
+    p.plan_hops = c.plan->hops();
+  }
+  if (h.audited()) {
+    p.tail_hops.reserve(c.tail.size());
+    for (std::uint32_t i = 0; i < c.tail.size(); ++i) {
+      p.tail_hops.push_back(c.tail[i]);
+    }
+  }
+  return p;
+}
+
+PacketRef NetworkSim::restore_packet(unsigned w, const CheckpointPacket& p,
+                                     const char* section) {
+  const auto need = [&](bool ok, const char* detail) {
+    if (!ok) throw CheckpointError(section, detail);
+  };
+  need(p.dst < node_count_ && p.src < node_count_,
+       "packet endpoint out of range");
+  constexpr std::uint32_t kKnownFlags =
+      kPktSteered | kPktAdaptive | kPktHasPlan | kPktAudited;
+  need((p.flags & ~kKnownFlags) == 0, "unknown packet flags");
+  const bool has_plan = (p.flags & kPktHasPlan) != 0;
+  need(has_plan == !p.plan_hops.empty(),
+       "plan flag inconsistent with recorded plan");
+  if (has_plan) {
+    need(p.plan_src < node_count_, "plan source out of range");
+    for (const Dim d : p.plan_hops) need(d < dims_, "plan hop out of range");
+  }
+  need((p.flags & kPktAudited) != 0 || p.tail_hops.empty(),
+       "hop tail recorded without audit flag");
+  for (const Dim d : p.tail_hops) need(d < dims_, "tail hop out of range");
+  // The bounds the service loops rely on: a steered packet reads its
+  // adopted plan at steer_next, a planned packet at hops, the audited
+  // replay walks plan[0, plan_len) ++ tail[0, hops - plan_len).
+  need(p.plan_len <= p.plan_hops.size(), "plan length beyond plan");
+  if ((p.flags & kPktSteered) != 0) {
+    need(!has_plan || p.steer_next < p.plan_hops.size(),
+         "steer cursor out of range");
+  } else if ((p.flags & kPktAdaptive) == 0) {
+    need(has_plan, "unrouted packet carries no plan");
+    need(p.hops <= p.plan_len, "hop count beyond plan");
+  }
+  need((p.flags & kPktAudited) == 0 ||
+           p.hops <= p.plan_len + p.tail_hops.size(),
+       "audited path shorter than hop count");
+
+  Shard& sh = shards_[w];
+  const PacketIndex slot = sh.pool.acquire();
+  PacketHot& h = sh.pool.hot(slot);
+  PacketCold& c = sh.pool.cold(slot);
+  h.dst = p.dst;
+  h.hops = p.hops;
+  h.plan_len = p.plan_len;
+  h.flags = p.flags;
+  c.id = p.id;
+  c.src = p.src;
+  c.created = p.created;
+  c.steer_next = p.steer_next;
+  c.retry_attempts = p.retry_attempts;
+  c.retransmits_used = p.retransmits_used;
+  if (has_plan) {
+    // Shared Route ownership is a process-local optimization; a restored
+    // packet gets a private copy (route contents are what the service
+    // loops read, so metrics cannot tell the difference).
+    c.plan = std::make_shared<const Route>(p.plan_src, p.plan_hops);
+  }
+  for (const Dim d : p.tail_hops) c.tail.push_back(d);
+  return make_packet_ref(w, slot);
+}
+
+SimCheckpoint NetworkSim::capture_checkpoint(Cycle next) {
+  SimCheckpoint ck;
+  ck.resume_cycle = next;
+  ck.in_flight = in_flight_;
+  ck.consecutive_stalls = consecutive_stalls_;
+  ck.next_event = next_event_;
+
+  ck.provenance.seed = config_.seed;
+  ck.provenance.topology = topo_.name();
+  ck.provenance.router = router_.name();
+  ck.provenance.simd = to_string(simd_);
+  ck.provenance.threads = static_cast<std::uint32_t>(shards_.size());
+#ifdef NDEBUG
+  ck.provenance.build_type = "optimized";
+#else
+  ck.provenance.build_type = "debug";
+#endif
+
+  CheckpointConfig& cc = ck.config;
+  cc.seed = config_.seed;
+  cc.injection_rate_bits =
+      std::bit_cast<std::uint64_t>(config_.injection_rate);
+  cc.warmup_cycles = config_.warmup_cycles;
+  cc.measure_cycles = config_.measure_cycles;
+  cc.service_rate = config_.service_rate;
+  cc.buffer_limit = config_.buffer_limit;
+  cc.hop_limit = hop_limit_;
+  cc.retry_limit = config_.retry_limit;
+  cc.retry_backoff_base = config_.retry_backoff_base;
+  cc.park_capacity = config_.park_capacity;
+  cc.retry_budget = config_.retry_budget;
+  cc.retransmit_timeout = config_.retransmit_timeout;
+  cc.steer = steer_ ? 1 : 0;
+  cc.active_set = active_set_ ? 1 : 0;
+  cc.node_count = node_count_;
+  cc.dims = dims_;
+  cc.traffic_fingerprint = traffic_.state_fingerprint();
+  cc.schedule_fingerprint = fault_events_fingerprint(schedule_events_);
+  cc.schedule_events = schedule_events_.size();
+
+  ck.faulty_nodes = faults_.faulty_nodes();
+  ck.faulty_links = faults_.faulty_links();
+
+  // Effective queues, shard-count independent: node u's queue contents
+  // followed by its pending mailbox arrivals in ascending source-shard
+  // (= ascending source-node) ring order — exactly the order phase A of
+  // cycle `next` would drain them. Only the parity phase A drains next
+  // can hold arrivals at this serial point; the restore leaves all rings
+  // empty with the merge pre-applied.
+  ck.queues.resize(node_count_);
+  for (NodeId u = 0; u < node_count_; ++u) {
+    const Ring<PacketRef>& q = queues_[u];
+    ck.queues[u].reserve(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      ck.queues[u].push_back(capture_packet(q.at(i)));
+    }
+  }
+  const unsigned parity = static_cast<unsigned>(~next & 1);
+  for (const Shard& src : shards_) {
+    for (unsigned w = 0; w < shards_.size(); ++w) {
+      const Ring<Arrival>& box = src.outbox[parity][w];
+      for (std::size_t i = 0; i < box.size(); ++i) {
+        const Arrival a = box.at(i);
+        ck.queues[a.node].push_back(capture_packet(a.ref));
+      }
+    }
+  }
+
+  // Multimap iteration order IS the wake-processing order (wake cycle,
+  // then insertion order), so serializing it linearly preserves it.
+  ck.parked.reserve(parked_.size());
+  for (const auto& [wake, pk] : parked_) {
+    CheckpointParked cp;
+    cp.wake = wake;
+    cp.node = pk.node;
+    cp.respawn = pk.respawn;
+    cp.packet = capture_packet(pk.ref);
+    ck.parked.push_back(std::move(cp));
+  }
+
+  if (active_set_) {
+    // Pending fires as absolute cycles. Wheel buckets are unambiguous
+    // within (now, now + kWheelSize); whether an entry sat in the wheel
+    // or the far heap is unobservable and re-derived at restore. The heap
+    // has no iterator, so it is drained and re-pushed (serial point, and
+    // far fires are rare by construction). At most one fire per node
+    // exists, so sorting by node is a canonical total order.
+    const Cycle now = next - 1;
+    const Cycle base = now & ~(kWheelSize - 1);
+    for (Shard& sh : shards_) {
+      for (std::uint64_t b = 0; b < kWheelSize; ++b) {
+        for (const NodeId u : sh.wheel[b]) {
+          Cycle at = base | b;
+          if (at <= now) at += kWheelSize;
+          ck.fires.push_back({at, u});
+        }
+      }
+      std::vector<std::uint64_t> far;
+      far.reserve(sh.far_fires.size());
+      while (!sh.far_fires.empty()) {
+        far.push_back(sh.far_fires.top());
+        sh.far_fires.pop();
+      }
+      for (const std::uint64_t key : far) {
+        ck.fires.push_back({key >> kFireNodeBits,
+                            static_cast<NodeId>(key & kFireNodeMask)});
+        sh.far_fires.push(key);
+      }
+    }
+    std::sort(ck.fires.begin(), ck.fires.end(),
+              [](const CheckpointFire& a, const CheckpointFire& b) {
+                return a.node < b.node;
+              });
+  }
+
+  ck.link_stamps = link_busy_;
+
+  // Fold every shard partial into the snapshot (commutative/associative
+  // integer adds, same as the end-of-run reduction). The resumed run
+  // restores this into the global slot with its shard partials zeroed, so
+  // its final fold equals the uninterrupted run's.
+  ck.metrics = metrics_;
+  for (const Shard& sh : shards_) ck.metrics.absorb(sh.metrics);
+  return ck;
+}
+
+void NetworkSim::apply_checkpoint(const SimCheckpoint& ck) {
+  // Semantic-parameter guard: any mismatch here would change the
+  // simulated trajectory, so refuse with the field's name. threads /
+  // SIMD / batch are deliberately NOT checked — metrics are bit-identical
+  // across them, which is the whole point of resuming under whatever
+  // execution shape the new host offers.
+  const auto match = [](bool ok, const char* field) {
+    if (!ok) {
+      throw CheckpointError(
+          "config", std::string("resume configuration mismatch: ") + field);
+    }
+  };
+  const CheckpointConfig& cc = ck.config;
+  match(cc.seed == config_.seed, "seed");
+  match(cc.injection_rate_bits ==
+            std::bit_cast<std::uint64_t>(config_.injection_rate),
+        "injection_rate");
+  match(cc.warmup_cycles == config_.warmup_cycles, "warmup_cycles");
+  match(cc.measure_cycles == config_.measure_cycles, "measure_cycles");
+  match(cc.service_rate == config_.service_rate, "service_rate");
+  match(cc.buffer_limit == config_.buffer_limit, "buffer_limit");
+  match(cc.hop_limit == hop_limit_, "reroute_hop_limit");
+  match(cc.retry_limit == config_.retry_limit, "retry_limit");
+  match(cc.retry_backoff_base == config_.retry_backoff_base,
+        "retry_backoff_base");
+  match(cc.park_capacity == config_.park_capacity, "park_capacity");
+  match(cc.retry_budget == config_.retry_budget, "retry_budget");
+  match(cc.retransmit_timeout == config_.retransmit_timeout,
+        "retransmit_timeout");
+  match((cc.steer != 0) == steer_, "fabric steering");
+  match((cc.active_set != 0) == active_set_, "active_set");
+  match(cc.node_count == node_count_, "node_count");
+  match(cc.dims == dims_, "dims");
+  match(cc.traffic_fingerprint == traffic_.state_fingerprint(),
+        "traffic model");
+  match(cc.schedule_fingerprint ==
+            fault_events_fingerprint(schedule_events_),
+        "fault schedule");
+  match(ck.resume_cycle >= 1 && ck.resume_cycle < total_cycles_,
+        "resume cycle");
+  match(ck.next_event <= schedule_events_.size(), "fault schedule cursor");
+
+  // Fault state. Dynamic mode rebuilds the live set by replaying the
+  // captured lists in insertion order (identical vectors AND hash state);
+  // the overlay refresh that follows in run() sees the generation bump
+  // and rebuilds fully. Static mode cannot be mutated — verify instead.
+  if (live_faults_ != nullptr) {
+    live_faults_->clear();
+    for (const NodeId u : ck.faulty_nodes) {
+      if (u >= node_count_) {
+        throw CheckpointError("faults", "faulty node out of range");
+      }
+      live_faults_->fail_node(u);
+    }
+    for (const LinkId& l : ck.faulty_links) {
+      if (l.lo >= node_count_ || l.dim >= dims_) {
+        throw CheckpointError("faults", "faulty link out of range");
+      }
+      live_faults_->fail_link(l.lo, l.dim);
+    }
+  } else if (faults_.faulty_nodes() != ck.faulty_nodes ||
+             faults_.faulty_links() != ck.faulty_links) {
+    throw CheckpointError("faults",
+                          "static fault set differs from the checkpointed "
+                          "one (element-wise, insertion order included)");
+  }
+
+  if (ck.queues.size() != node_count_) {
+    throw CheckpointError("packets", "queue table size != node count");
+  }
+  std::uint64_t queued = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    const unsigned w = shard_of(u);
+    for (const CheckpointPacket& p : ck.queues[u]) {
+      queues_[u].push_back(restore_packet(w, p, "packets"));
+      ++queued;
+    }
+    if (active_set_ && !ck.queues[u].empty()) {
+      Shard& sh = shards_[w];
+      sh.active.set(u - sh.begin);
+    }
+  }
+
+  for (const CheckpointParked& cp : ck.parked) {
+    if (!retries_) {
+      throw CheckpointError("parked",
+                            "parked entries without retry recovery enabled");
+    }
+    if (cp.node >= node_count_) {
+      throw CheckpointError("parked", "parked node out of range");
+    }
+    const PacketRef ref = restore_packet(shard_of(cp.node), cp.packet,
+                                         "parked");
+    parked_.emplace(cp.wake, Parked{cp.node, ref, cp.respawn});
+    if (!cp.respawn) ++parked_count_[cp.node];
+    ++parked_now_;
+  }
+  // Closing the books: everything in flight is queued or parked, exactly.
+  if (queued + parked_.size() != ck.in_flight) {
+    throw CheckpointError(
+        "globals", "in_flight does not equal queued + parked packets");
+  }
+
+  if (active_set_) {
+    for (const CheckpointFire& f : ck.fires) {
+      if (f.node >= node_count_) {
+        throw CheckpointError("fires", "fire node out of range");
+      }
+      if (f.at < ck.resume_cycle) {
+        throw CheckpointError("fires", "fire due in the past");
+      }
+      Shard& sh = shards_[shard_of(f.node)];
+      if (sh.armed[f.node - sh.begin] != 0) {
+        throw CheckpointError("fires", "duplicate fire for one node");
+      }
+      schedule_fire(sh, ck.resume_cycle - 1, f.at, f.node);
+    }
+  } else if (!ck.fires.empty()) {
+    throw CheckpointError("fires",
+                          "fires recorded without active_set mode");
+  }
+
+  if (ck.link_stamps.size() != link_busy_.size()) {
+    throw CheckpointError("links",
+                          "stamp table size != node_count * dims");
+  }
+  link_busy_ = ck.link_stamps;
+
+  metrics_ = ck.metrics;
+  in_flight_ = ck.in_flight;
+  consecutive_stalls_ = ck.consecutive_stalls;
+  next_event_ = static_cast<std::size_t>(ck.next_event);
 }
 
 }  // namespace gcube

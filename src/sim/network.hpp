@@ -125,14 +125,17 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <exception>
 #include <functional>
 #include <map>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "fault/fault_set.hpp"
 #include "fault/overlay.hpp"
+#include "sim/checkpoint.hpp"
 #include "routing/next_hop_table.hpp"
 #include "routing/router.hpp"
 #include "sim/fault_schedule.hpp"
@@ -215,6 +218,38 @@ struct SimConfig {
   /// SimMetrics::phase_*_ns (bench instrumentation; adds steady_clock
   /// reads to the cycle loop, so timed runs leave it off).
   bool phase_timing = false;
+  /// Periodic checkpointing: at the serial point ENTERING every cycle
+  /// divisible by this, the full run state is saved to checkpoint_path
+  /// (see sim/checkpoint.hpp for the format and guarantees). 0 = periodic
+  /// checkpoints off; a halt-time checkpoint is still written when
+  /// checkpoint_path is set.
+  Cycle checkpoint_every = 0;
+  /// Checkpoint file path; empty = checkpointing off entirely. Writes are
+  /// atomic (tmp + rename) with a two-generation rotation ("<path>.1").
+  std::string checkpoint_path;
+  /// Resume from this checkpoint file instead of starting at cycle 0
+  /// (falling back to its previous generation when it is corrupt or
+  /// truncated). The semantic configuration must match the checkpoint's
+  /// recorded parameters — threads / SIMD / batch may differ freely — or
+  /// run() throws a CheckpointError naming the mismatched field.
+  std::string resume_from;
+  /// Crash-fault injection: hard std::_Exit(137) — no unwinding, no
+  /// cleanup, as a kill -9 would land — at the serial point entering this
+  /// cycle, AFTER any checkpoint due at that same point has been made
+  /// durable. 0 = off. The GCUBE_CRASH_AT_CYCLE environment variable
+  /// overrides this value.
+  Cycle crash_at_cycle = 0;
+  /// Graceful halt: when non-null and the pointee is true at a serial
+  /// point, the run stops there — writing a final checkpoint first when
+  /// checkpoint_path is set — and returns partial metrics with
+  /// SimMetrics::interrupted_at recording the resume cycle. The pointee
+  /// is typically flipped from a signal handler (sim_cli's SIGINT/
+  /// SIGTERM path); atomic, so no handshake with the workers is needed.
+  const std::atomic<bool>* stop_requested = nullptr;
+  /// Deterministic graceful halt at the serial point entering this cycle
+  /// — exactly the path a stop request takes, at a reproducible point.
+  /// Test knob for checkpoint round-trips. 0 = off.
+  Cycle halt_at_cycle = 0;
 };
 
 class NetworkSim {
@@ -390,6 +425,26 @@ class NetworkSim {
   /// pre-run seeding, where `at` may equal cycle 0).
   void schedule_fire(Shard& sh, Cycle now, Cycle at, NodeId u);
 
+  /// Captures the full run state at the serial point entering cycle
+  /// `next`, in canonical shard-count-independent form: per-node
+  /// effective queues (queue contents + pending mailbox arrivals in
+  /// phase-A drain order), parked entries in wake order, pending fires as
+  /// absolute (cycle, node), link stamps, fault state, and the folded
+  /// metrics. See sim/checkpoint.hpp.
+  [[nodiscard]] SimCheckpoint capture_checkpoint(Cycle next);
+  /// Rebuilds run state from a loaded checkpoint (must run after
+  /// configure_shards, before the overlay refresh and the cycle loop).
+  /// Throws CheckpointError naming the failing section on any config
+  /// mismatch or structural inconsistency.
+  void apply_checkpoint(const SimCheckpoint& ck);
+  /// Serializes / rematerializes one packet. `w` is the pool shard the
+  /// restored slot is acquired from (serial-point call, so touching any
+  /// pool is safe); `section` names the checkpoint section for errors.
+  [[nodiscard]] CheckpointPacket capture_packet(PacketRef ref);
+  [[nodiscard]] PacketRef restore_packet(unsigned w,
+                                         const CheckpointPacket& p,
+                                         const char* section);
+
   /// The fused per-cycle serial section, run by the LAST worker arriving
   /// at the end-of-cycle barrier (ShardPool::barrier_serial): collects
   /// shard errors, folds per-cycle counters into the global accounting,
@@ -461,6 +516,10 @@ class NetworkSim {
   bool stop_run_ = false;     // set when the loop must end after this cycle
   std::exception_ptr serial_error_;  // first failure, rethrown after join
   Cycle consecutive_stalls_ = 0;
+  /// Crash-injection cycle, resolved at run() start from
+  /// config_.crash_at_cycle and the GCUBE_CRASH_AT_CYCLE environment
+  /// override. 0 = no crash.
+  Cycle crash_at_ = 0;
   RouterCacheStats cache_base_{};
   bool cache_base_set_ = false;
   // Node-range split: the first range_rem_ shards own range_base_ + 1

@@ -9,6 +9,7 @@
 // very differently from uniform traffic.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 
@@ -79,6 +80,16 @@ class TrafficModel {
 
   /// True iff u may act as a source or destination.
   [[nodiscard]] virtual bool eligible(NodeId u) const = 0;
+
+  /// Deterministic fingerprint of the model's injection/destination
+  /// parameters, recorded in checkpoints so a resume under a different
+  /// workload is refused instead of silently diverging. Models are
+  /// stateless between draws (everything is counter-keyed), so parameters
+  /// ARE the state. The default covers custom models conservatively: 0
+  /// matches only another default-fingerprint model.
+  [[nodiscard]] virtual std::uint64_t state_fingerprint() const noexcept {
+    return 0;
+  }
 };
 
 class UniformTraffic : public TrafficModel {
@@ -107,6 +118,12 @@ class UniformTraffic : public TrafficModel {
 
   [[nodiscard]] double rate() const noexcept { return rate_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  [[nodiscard]] std::uint64_t state_fingerprint() const noexcept override {
+    std::uint64_t h = mix64(0x756e6974'72616666ull ^ node_count_);
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(rate_));
+    return mix64(h ^ seed_);
+  }
 
  protected:
   std::uint64_t node_count_;
@@ -138,6 +155,12 @@ class PatternTraffic final : public UniformTraffic {
                                         CounterRng& rng) const override;
 
   [[nodiscard]] TrafficPattern pattern() const noexcept { return pattern_; }
+
+  [[nodiscard]] std::uint64_t state_fingerprint() const noexcept override {
+    std::uint64_t h = UniformTraffic::state_fingerprint();
+    h = mix64(h ^ (static_cast<std::uint64_t>(pattern_) << 32 ^ hot_node_));
+    return mix64(h ^ std::bit_cast<std::uint64_t>(hotspot_fraction_));
+  }
 
  private:
   Dim n_;

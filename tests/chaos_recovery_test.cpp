@@ -13,10 +13,12 @@
 //     degraded — the qualitative curve bench/abl_recovery quantifies.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "fault/fault_set.hpp"
+#include "sim/checkpoint.hpp"
 #include "routing/ftgcr.hpp"
 #include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
@@ -213,6 +215,65 @@ TEST(ChaosRecovery, TransientWithRetriesRecoversPermanentStaysDegraded) {
             0u)
       << "permanent isolation must visibly lose packets";
   EXPECT_GT(healed.parked_retries, 0u);
+}
+
+TEST(ChaosRecovery, CheckpointRoundTripPreservesRecoveryStateBitForBit) {
+  // Interrupt the run in the thick of the churn — parked packets holding
+  // backoff counters, armed wake-up fires, end-to-end retransmit timers
+  // all live — and resume from the checkpoint with a different thread
+  // count. The recovery machinery must come back bit-for-bit: final
+  // metrics identical to the uninterrupted run, including the park /
+  // retry / retransmit counters themselves.
+  const GaussianCube gc(8, 2);
+  const FaultSchedule churn =
+      isolation_flaps(gc, {9, 40, 101, 164, 230}, 80, 150, 90);
+  SimConfig cfg = chaos_config();
+  cfg.allow_oversubscribe = true;
+  const SimMetrics uninterrupted = run_chaos(gc, churn, cfg);
+  expect_accounting_closed(uninterrupted, "uninterrupted");
+  ASSERT_GT(uninterrupted.parked_retries, 0u)
+      << "the scenario must actually exercise the park machinery";
+
+  const std::string path =
+      testing::TempDir() + "gcube_chaos_roundtrip.ckpt";
+  std::remove(path.c_str());
+  std::remove(checkpoint_previous_generation(path).c_str());
+  // Cycle 300: victims 9/40/101 have flapped, 164's isolation is live,
+  // parked packets and retransmit timers are pending.
+  SimConfig halt_cfg = cfg;
+  halt_cfg.threads = 2;
+  halt_cfg.checkpoint_path = path;
+  halt_cfg.halt_at_cycle = 300;
+  const SimMetrics partial = run_chaos(gc, churn, halt_cfg);
+  ASSERT_EQ(partial.interrupted_at, 300u);
+
+  // The on-disk image must carry live recovery state, not just queues.
+  const SimCheckpoint ck = load_checkpoint(path);
+  EXPECT_FALSE(ck.parked.empty())
+      << "checkpoint at mid-churn must hold parked packets";
+  bool has_backoff_state = false;
+  for (const auto& p : ck.parked) {
+    if (p.packet.retry_attempts > 0 || p.packet.retransmits_used > 0) {
+      has_backoff_state = true;
+    }
+    EXPECT_GE(p.wake, ck.resume_cycle)
+        << "pending wake-ups must still be in the future";
+  }
+  EXPECT_TRUE(has_backoff_state)
+      << "parked entries must carry their backoff/retransmit counters";
+
+  SimConfig resume_cfg = cfg;
+  resume_cfg.threads = 4;
+  resume_cfg.resume_from = path;
+  const SimMetrics resumed = run_chaos(gc, churn, resume_cfg);
+  expect_accounting_closed(resumed, "resumed");
+  EXPECT_TRUE(resumed.deterministic_equals(uninterrupted))
+      << "resume across a checkpoint (threads 2 -> 4) must be bit-for-bit";
+  EXPECT_EQ(resumed.parked_retries, uninterrupted.parked_retries);
+  EXPECT_EQ(resumed.retransmits, uninterrupted.retransmits);
+  EXPECT_EQ(resumed.gave_up, uninterrupted.gave_up);
+  std::remove(path.c_str());
+  std::remove(checkpoint_previous_generation(path).c_str());
 }
 
 TEST(ChaosRecovery, EmptyRepairSchedulesReproduceLegacyBitForBit) {

@@ -90,6 +90,22 @@ def good_v4_report():
     return r
 
 
+def good_v5_report():
+    """Schema-5 report: v4 plus the top-level provenance block."""
+    r = good_v4_report()
+    r["schema_version"] = 5
+    r["provenance"] = {
+        "seed": 4242,
+        "topology": "GC(10, 4)",
+        "router": "FTGCR",
+        "simd": "avx2",
+        "threads": 1,
+        "schema_version": 5,
+        "build_type": "optimized",
+    }
+    return r
+
+
 def run_checker(report, *flags):
     """Returns (exit_code, stderr) of the checker on `report` (dict or
     raw string)."""
@@ -259,6 +275,43 @@ def main():
         r["cells"][3]["total_hops"] / r["cells"][3]["seconds"]
     expect("simd twin counter drift rejected", r, ok=False,
            message="SIMD dispatch determinism")
+
+    # schema 5: the top-level provenance block, the checkpoint header's
+    # identifying tuple mirrored into the report.
+    expect("well-formed v5 report passes", good_v5_report())
+
+    r = good_v5_report()
+    del r["provenance"]
+    expect("v5 report without provenance rejected", r, ok=False,
+           message="provenance")
+
+    r = good_v5_report()
+    del r["provenance"]["build_type"]
+    expect("provenance missing a field rejected", r, ok=False,
+           message="build_type")
+
+    r = good_v5_report()
+    r["provenance"]["simd"] = "neon"
+    expect("provenance unknown simd level rejected", r, ok=False,
+           message="simd")
+
+    r = good_v5_report()
+    r["provenance"]["schema_version"] = 4
+    expect("provenance schema_version disagreement rejected", r, ok=False,
+           message="disagrees")
+
+    r = good_v5_report()
+    r["provenance"]["build_type"] = "release"
+    expect("provenance unknown build_type rejected", r, ok=False,
+           message="build_type")
+
+    r = good_v5_report()
+    r["provenance"]["threads"] = 0
+    expect("provenance nonpositive threads rejected", r, ok=False,
+           message="threads")
+
+    # A v4 report (no provenance) must remain accepted.
+    expect("v4 report without provenance still passes", good_v4_report())
 
     if FAILURES:
         print("check_bench_json_test: FAIL", file=sys.stderr)
